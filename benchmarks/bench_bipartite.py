@@ -1,0 +1,85 @@
+"""A4 — extension bench: two-set (R × S) pairwise computation.
+
+The paper's §1 notes its approaches generalize to pairing elements of one
+set with another; this bench exercises that generalization: coverage of
+the full rectangle, the block grid's replication trade-off (h_r, h_s),
+and the broadcast variant's asymmetric shipping (R everywhere, S
+sliced).
+"""
+
+from __future__ import annotations
+
+from harness import format_table, write_report
+
+from repro.core.bipartite import (
+    BipartiteBlockScheme,
+    BipartiteBroadcastScheme,
+    brute_force_bipartite,
+    check_bipartite_exactly_once,
+    run_bipartite,
+)
+
+VR, VS = 40, 90
+
+
+def inner(a, b):
+    return a * b
+
+
+def run_all():
+    r = [float(i + 1) for i in range(VR)]
+    s = [float(2 * j + 1) for j in range(VS)]
+    reference = brute_force_bipartite(r, s, inner)
+    rows = []
+    for scheme in (
+        BipartiteBroadcastScheme(VR, VS, 8),
+        BipartiteBlockScheme(VR, VS, 4, 6),
+        BipartiteBlockScheme(VR, VS, 8, 3),
+    ):
+        ok, msg = check_bipartite_exactly_once(scheme)
+        assert ok, msg
+        assert run_bipartite(r, s, inner, scheme) == reference
+        m = scheme.metrics()
+        rows.append(
+            [
+                scheme.describe(),
+                m.num_tasks,
+                m.communication_records,
+                round(m.replication_r, 2),
+                round(m.replication_s, 2),
+                m.working_set_elements,
+                round(m.evaluations_per_task, 1),
+            ]
+        )
+    return rows
+
+
+def test_bipartite_schemes(benchmark):
+    rows = benchmark(run_all)
+
+    # Grid trade-off: swapping (h_r, h_s) swaps the two replication factors.
+    grid46 = rows[1]
+    grid83 = rows[2]
+    assert grid46[3] == 6 and grid46[4] == 4
+    assert grid83[3] == 3 and grid83[4] == 8
+
+    write_report(
+        "bipartite",
+        f"A4 — two-set pairwise (vr={VR}, vs={VS}): scheme comparison",
+        format_table(
+            ["scheme", "tasks", "comm", "repl_R", "repl_S", "ws", "evals/task"],
+            rows,
+        ),
+    )
+
+
+def test_bipartite_block_balance(benchmark):
+    """Every grid task does exactly e_r·e_s evaluations — perfect balance
+    when the factors divide evenly."""
+
+    def profile():
+        scheme = BipartiteBlockScheme(40, 90, 4, 6)
+        return [len(scheme.get_pairs(t)) for t in range(scheme.num_tasks)]
+
+    evals = benchmark(profile)
+    assert max(evals) == min(evals) == 10 * 15

@@ -1,0 +1,97 @@
+"""E1 — §6 cloud experiment: measured replication & working sets vs theory.
+
+The paper implemented all three schemes on Hadoop 0.20.1 and ran them on
+AWS EC2 and the Google/IBM academic cloud, reporting that (a) measured
+replication factors and working-set sizes "showed to be close to our
+theoretic evaluations", and (b) the working-set limit was hit "a little
+earlier than expected" because the runtime keeps other data in memory.
+
+This bench reruns that experiment on the cluster simulator: all three
+schemes, an 8-node × 2-slot cluster with the paper's 200 MB slots, and a
+per-task memory overhead injected to reproduce observation (b).
+"""
+
+from __future__ import annotations
+
+from harness import format_table, write_report
+
+from repro._util import KB, MB, TB
+from repro.cluster import ClusterSimulator, ClusterSpec, NodeSpec
+from repro.core.block import BlockScheme
+from repro.core.broadcast import BroadcastScheme
+from repro.core.design import DesignScheme
+
+V = 993  # = 31² + 31 + 1: an exact plane size, where √v theory is tight
+ELEMENT_SIZE = 100 * KB
+OVERHEAD = 20 * MB  # the "other variables and data" of §6
+
+
+def run_all():
+    cluster = ClusterSpec.homogeneous(8, NodeSpec(slot_memory=200 * MB, slots=2))
+    sim = ClusterSimulator(cluster, maxis=1 * TB, task_overhead_bytes=OVERHEAD)
+    schemes = [
+        (BroadcastScheme(V, 16), BroadcastScheme(V, 16).metrics()),
+        (BlockScheme(V, 20), BlockScheme(V, 20).metrics()),
+        (DesignScheme(V), DesignScheme.approx_metrics(V)),
+    ]
+    return [
+        (scheme.name, sim.simulate(scheme, ELEMENT_SIZE).compare(theory),
+         sim.simulate(scheme, ELEMENT_SIZE))
+        for scheme, theory in schemes
+    ]
+
+
+def test_empirical_theory_match(benchmark):
+    results = benchmark(run_all)
+
+    rows = []
+    for name, comparison, report in results:
+        for row in comparison.rows():
+            rows.append(
+                [name, row.quantity, row.predicted, row.measured,
+                 f"{row.relative_error:.2%}"]
+            )
+        # (a) measured ≈ theory: replication and ws within a few percent
+        # (block/broadcast exact; design's √v approximation ≤ ~5%).
+        by_name = {r.quantity: r for r in comparison.rows()}
+        assert by_name["replication_factor"].relative_error < 0.05, name
+        assert by_name["working_set_elements"].relative_error < 0.05, name
+
+    # (b) the overhead makes broadcast's big working set hit maxws early:
+    # 993 × 100 KB ≈ 99 MB fits a 200 MB slot, but push v up toward the
+    # "pure" limit and the overhead flips feasibility before theory does.
+    cluster = ClusterSpec.homogeneous(8, NodeSpec(slot_memory=200 * MB, slots=2))
+    v_pure_limit = (200 * MB) // ELEMENT_SIZE  # 2000 elements, exactly maxws
+    clean = ClusterSimulator(cluster).simulate(
+        BroadcastScheme(v_pure_limit, 16), ELEMENT_SIZE
+    )
+    padded = ClusterSimulator(cluster, task_overhead_bytes=OVERHEAD).simulate(
+        BroadcastScheme(v_pure_limit, 16), ELEMENT_SIZE
+    )
+    assert clean.feasible and not padded.feasible  # "hit a little earlier"
+
+    write_report(
+        "empirical",
+        f"E1 — §6 theory vs simulated measurement (v={V}, s={ELEMENT_SIZE}B, "
+        f"overhead={OVERHEAD}B/task)",
+        format_table(["scheme", "quantity", "theory", "measured", "err"], rows)
+        + "\n\nWorking-set limit: pure v_max=2000 feasible without overhead, "
+        "infeasible with 20MB/task overhead (paper's early-limit observation).",
+    )
+
+
+def test_empirical_makespans_comparable(benchmark):
+    """All three schemes spread work evenly enough that no scheme's
+    makespan is an outlier at equal eval cost (the balance demand)."""
+
+    def makespans():
+        cluster = ClusterSpec.homogeneous(8, NodeSpec(slot_memory=400 * MB, slots=2))
+        sim = ClusterSimulator(cluster)
+        return {
+            scheme.name: sim.simulate(scheme, 10 * KB).measured.makespan_seconds
+            for scheme in (BroadcastScheme(V, 16), BlockScheme(V, 20), DesignScheme(V))
+        }
+
+    times = benchmark(makespans)
+    fastest, slowest = min(times.values()), max(times.values())
+    assert slowest / fastest < 5, times

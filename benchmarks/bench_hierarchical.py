@@ -1,0 +1,103 @@
+"""A1 — ablation: §7 hierarchical schemes vs the flat schemes.
+
+The paper's outlook claims the two-level block scheme and sequential
+design rounds "ease both limits: the one on the working set size and the
+other one on the intermediate storage".  This bench quantifies the easing
+on the cluster simulator and regenerates the max-dataset-size extension
+of Fig 9a's intersection bound.
+"""
+
+from __future__ import annotations
+
+from harness import format_table, write_report
+
+from repro._util import GB, MB, TB
+from repro.cluster import ClusterSimulator, ClusterSpec, NodeSpec
+from repro.core.block import BlockScheme
+from repro.core.design import DesignScheme
+from repro.core.hierarchical import (
+    HierarchicalBlockScheme,
+    SequentialDesignSchedule,
+    hierarchical_max_dataset_bytes,
+)
+
+V = 1_000
+ELEMENT_SIZE = 1 * MB
+
+
+def run_comparison():
+    cluster = ClusterSpec.homogeneous(8, NodeSpec(slot_memory=200 * MB, slots=2))
+    sim = ClusterSimulator(cluster, maxis=1 * TB)
+    flat_block = sim.simulate(BlockScheme(V, 4), ELEMENT_SIZE)
+    hier_block = sim.simulate_schedule(HierarchicalBlockScheme(V, 4, 4), ELEMENT_SIZE)
+    design = DesignScheme(V)
+    flat_design = sim.simulate(design, ELEMENT_SIZE)
+    seq_design = sim.simulate_schedule(
+        SequentialDesignSchedule(design, 16), ELEMENT_SIZE
+    )
+    return flat_block, hier_block, flat_design, seq_design
+
+
+def test_hierarchical_eases_limits(benchmark):
+    flat_block, hier_block, flat_design, seq_design = benchmark(run_comparison)
+
+    # Two-level block: both peak intermediate and working set shrink.
+    assert hier_block.measured.intermediate_bytes < flat_block.measured.intermediate_bytes
+    assert (
+        hier_block.measured.max_working_set_bytes
+        <= flat_block.measured.max_working_set_bytes
+    )
+    # Sequential design: peak intermediate drops ≈ ×rounds; ws unchanged.
+    assert (
+        seq_design.measured.intermediate_bytes
+        < flat_design.measured.intermediate_bytes / 8
+    )
+    assert (
+        seq_design.measured.max_working_set_bytes
+        == flat_design.measured.max_working_set_bytes
+    )
+    # The price: sequential rounds serialize, so makespan grows.
+    assert (
+        hier_block.measured.makespan_seconds
+        >= flat_block.measured.makespan_seconds * 0.9
+    )
+
+    rows = [
+        [
+            name,
+            report.measured.max_working_set_bytes,
+            report.measured.intermediate_bytes,
+            round(report.measured.makespan_seconds, 1),
+            "yes" if report.feasible else "no",
+        ]
+        for name, report in [
+            ("block (flat, h=4)", flat_block),
+            ("block (2-level, H=4, f=4)", hier_block),
+            ("design (flat)", flat_design),
+            ("design (16 seq. rounds)", seq_design),
+        ]
+    ]
+    write_report(
+        "hierarchical",
+        f"A1 — §7 hierarchical vs flat (v={V}, s={ELEMENT_SIZE}B)",
+        format_table(
+            ["configuration", "max_ws_bytes", "intermediate_bytes", "makespan_s", "feasible"],
+            rows,
+        ),
+    )
+
+
+def test_hierarchical_extends_feasible_dataset(benchmark):
+    """The coarse factor multiplies the Fig 9a intersection bound by H/2."""
+
+    def curve():
+        return [
+            (H, hierarchical_max_dataset_bytes(200 * MB, 1 * TB, H))
+            for H in (1, 2, 4, 8, 16)
+        ]
+
+    points = benchmark(curve)
+    flat = points[0][1]
+    assert flat == 10 * GB  # the flat Fig 9a bound
+    for H, bound in points[1:]:
+        assert bound == flat * H / 2

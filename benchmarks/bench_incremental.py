@@ -1,0 +1,77 @@
+"""A8 — extension bench: incremental maintenance vs full recompute.
+
+When w new elements join v existing ones, the incremental path does
+``v·w + w(w−1)/2`` evaluations against the full triangle's
+``(v+w)(v+w−1)/2`` — quantified here across arrival patterns, with the
+results verified identical to a from-scratch run.
+"""
+
+from __future__ import annotations
+
+from harness import format_table, write_report
+
+from repro.core.incremental import IncrementalPairwise
+from repro.core.pairwise import brute_force_results
+from repro._util import triangle_count
+
+
+def scalar_distance(a, b):
+    return abs(a - b)
+
+
+DATA = [float((x * 17 + 3) % 211) for x in range(160)]
+
+
+def run_growth(batch_size: int):
+    inc = IncrementalPairwise(scalar_distance)
+    reports = []
+    for start in range(0, len(DATA), batch_size):
+        reports.append(inc.add_batch(DATA[start : start + batch_size]))
+    return inc, reports
+
+
+def test_incremental_savings(benchmark):
+    inc, reports = benchmark(run_growth, 20)
+    assert inc.results() == brute_force_results(DATA, scalar_distance)
+
+    total_incremental = sum(report.evaluations for report in reports)
+    assert total_incremental == triangle_count(len(DATA))  # nothing skipped overall
+
+    # But the *last* batch alone cost far less than a recompute would.
+    final = reports[-1]
+    recompute = triangle_count(final.total_elements)
+    assert final.evaluations < recompute / 3
+
+    rows = [
+        [
+            index,
+            report.new_elements,
+            report.cross_evaluations,
+            report.fresh_evaluations,
+            report.total_elements,
+            f"{report.savings_vs_recompute():.1%}",
+        ]
+        for index, report in enumerate(reports)
+    ]
+    write_report(
+        "incremental",
+        f"A8 — incremental growth of v={len(DATA)} in batches of 20",
+        format_table(
+            ["batch", "new", "cross evals", "fresh evals", "v after", "saved vs recompute"],
+            rows,
+        ),
+    )
+
+
+def test_batch_size_sweep(benchmark):
+    """Smaller batches ⇒ larger cumulative savings on the final batch."""
+
+    def sweep():
+        out = {}
+        for batch_size in (80, 40, 10):
+            _inc, reports = run_growth(batch_size)
+            out[batch_size] = reports[-1].savings_vs_recompute()
+        return out
+
+    savings = benchmark(sweep)
+    assert savings[10] > savings[40] > savings[80]

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Capacity planning with the paper's feasibility model (§6, Figs 8–9).
+
+Given a dataset (cardinality × element size) and an environment
+(per-task memory ``maxws``, intermediate storage ``maxis``), decide which
+distribution scheme — broadcast, block (and which h), design, or a §7
+hierarchical fallback — can run it.  This turns the paper's evaluation
+charts into the practical tool they imply.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import GB, KB, MB, TB
+from repro._util import format_bytes
+from repro.core.cost_model import (
+    block_h_bounds,
+    max_v_block,
+    max_v_broadcast,
+    max_v_design,
+    max_v_design_storage,
+)
+from repro.core.hierarchical import hierarchical_max_dataset_bytes
+
+MAXWS = 200 * MB
+MAXIS = 1 * TB
+
+SCENARIOS = [
+    ("small images", 2_000, 50 * KB),
+    ("documents", 50_000, 100 * KB),
+    ("micro-array scans", 10_000, 1 * MB),
+    ("genome fragments", 5_000, 10 * MB),
+    ("video segments", 4_000, 50 * MB),
+]
+
+
+def plan(v: int, s: int) -> list[str]:
+    """All feasible options for a (cardinality, element size) workload."""
+    options = []
+    if v <= max_v_broadcast(s, MAXWS):
+        options.append("broadcast (dataset fits each task)")
+    if v <= max_v_block(s, MAXWS, MAXIS):
+        bounds = block_h_bounds(v * s, MAXWS, MAXIS)
+        options.append(f"block with h ∈ [{bounds.h_min}, {bounds.h_max}]")
+    if v <= max_v_design(s, MAXIS, MAXWS):
+        options.append("design (smallest working sets)")
+    elif v <= max_v_design_storage(s, MAXIS):
+        options.append("design (maxis ok; watch the √v·s working set)")
+    if not options:
+        # §7 fallback: how coarse must a two-level block hierarchy be?
+        H = 2
+        while hierarchical_max_dataset_bytes(MAXWS, MAXIS, H) < v * s and H < 4096:
+            H *= 2
+        if hierarchical_max_dataset_bytes(MAXWS, MAXIS, H) >= v * s:
+            options.append(f"hierarchical block, coarse factor H ≥ {H} "
+                           f"({H * (H + 1) // 2} sequential rounds)")
+        else:
+            options.append("infeasible even hierarchically at these limits")
+    return options
+
+
+def main() -> None:
+    print(f"environment: maxws = {format_bytes(MAXWS)} per task, "
+          f"maxis = {format_bytes(MAXIS)}\n")
+    for name, v, s in SCENARIOS:
+        dataset = format_bytes(v * s)
+        print(f"{name}: v = {v:,} × {format_bytes(s)} = {dataset}")
+        for option in plan(v, s):
+            print(f"    ✓ {option}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

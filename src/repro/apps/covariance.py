@@ -1,0 +1,104 @@
+"""Covariance matrices via pairwise inner products (paper §1's PCA example).
+
+"The computation of the covariance matrix of a matrix A requires to
+compute A × Aᵀ.  This multiplication is a pairwise inner product on all
+rows of A."  Elements are the (centered) rows; the pair function is the dot
+product; the off-diagonal covariance entries come straight out of the
+pairwise result lists, the diagonal from each row's self product, and PCA
+is an eigendecomposition on top.
+
+Centering convention: *column* means are removed, matching ``np.cov`` of
+the row-variable matrix with ``bias=False`` (the ``n−1`` divisor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+def row_inner_product(a: np.ndarray, b: np.ndarray) -> float:
+    """Pair function: inner product of two (already centered) rows."""
+    return float(np.dot(np.asarray(a, dtype=float), np.asarray(b, dtype=float)))
+
+
+def center_rows(matrix: np.ndarray) -> list[np.ndarray]:
+    """Rows of A with column means removed — the pairwise element payloads."""
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {arr.shape}")
+    centered = arr - arr.mean(axis=1, keepdims=True)
+    return [centered[i] for i in range(centered.shape[0])]
+
+
+def assemble_covariance(
+    pair_products: Mapping[tuple[int, int], float],
+    rows: Sequence[np.ndarray],
+) -> np.ndarray:
+    """Covariance matrix from pairwise products plus per-row self products.
+
+    ``pair_products`` maps 1-indexed ``(i, j)`` (i > j) to the centered
+    rows' inner products; the divisor is ``m − 1`` for m samples (columns).
+    """
+    v = len(rows)
+    if v == 0:
+        raise ValueError("need at least one row")
+    m = len(rows[0])
+    if m < 2:
+        raise ValueError(f"need >= 2 samples per row for covariance, got {m}")
+    cov = np.zeros((v, v), dtype=float)
+    for i in range(v):
+        cov[i, i] = float(np.dot(rows[i], rows[i])) / (m - 1)
+    for (i, j), product in pair_products.items():
+        if not (1 <= j < i <= v):
+            raise ValueError(f"pair key {(i, j)} out of range for v={v}")
+        cov[i - 1, j - 1] = cov[j - 1, i - 1] = product / (m - 1)
+    return cov
+
+
+def covariance_reference(matrix: np.ndarray) -> np.ndarray:
+    """Oracle: ``np.cov`` over row variables (the target of the assembly)."""
+    return np.cov(np.asarray(matrix, dtype=float), bias=False)
+
+
+@dataclass(frozen=True)
+class PCAResult:
+    """Principal components of the row-variable covariance."""
+
+    eigenvalues: np.ndarray  #: descending
+    components: np.ndarray  #: (k, v) rows are eigenvectors
+
+    @property
+    def explained_variance_ratio(self) -> np.ndarray:
+        total = float(self.eigenvalues.sum())
+        if total <= 0:
+            return np.zeros_like(self.eigenvalues)
+        return self.eigenvalues / total
+
+
+def pca_from_covariance(cov: np.ndarray, k: int | None = None) -> PCAResult:
+    """Top-k eigenpairs of a symmetric covariance matrix (descending).
+
+    Eigenvector signs are fixed so each vector's largest-magnitude entry is
+    positive, making results comparable across runs and libraries.
+    """
+    cov = np.asarray(cov, dtype=float)
+    if cov.ndim != 2 or cov.shape[0] != cov.shape[1]:
+        raise ValueError(f"covariance must be square, got shape {cov.shape}")
+    values, vectors = np.linalg.eigh(cov)  # ascending for symmetric input
+    order = np.argsort(values)[::-1]
+    values = values[order]
+    vectors = vectors[:, order]
+    if k is not None:
+        if not 1 <= k <= cov.shape[0]:
+            raise ValueError(f"k must be in [1, {cov.shape[0]}], got {k}")
+        values = values[:k]
+        vectors = vectors[:, :k]
+    # Deterministic sign convention.
+    for col in range(vectors.shape[1]):
+        pivot = np.argmax(np.abs(vectors[:, col]))
+        if vectors[pivot, col] < 0:
+            vectors[:, col] = -vectors[:, col]
+    return PCAResult(eigenvalues=values, components=vectors.T)

@@ -1,0 +1,46 @@
+"""Cluster simulator: nodes, network, scheduling, and §6-style measurement."""
+
+from .metrics import ComparisonRow, MeasuredMetrics, TheoryComparison
+from .network import NetworkModel
+from .node import ClusterSpec, NodeSpec
+from .racks import (
+    Locality,
+    RackTopology,
+    locality_profile,
+    rack_aware_placement,
+    read_locality,
+)
+from .scheduler import (
+    Assignment,
+    TaskCost,
+    schedule_lpt,
+    schedule_lpt_heterogeneous,
+    schedule_round_robin,
+)
+from .simulator import ClusterSimulator, LimitCheck, SimulationReport
+from .trace import TaskSpan, Trace, build_trace
+
+__all__ = [
+    "Assignment",
+    "ClusterSimulator",
+    "ClusterSpec",
+    "ComparisonRow",
+    "LimitCheck",
+    "Locality",
+    "MeasuredMetrics",
+    "NetworkModel",
+    "NodeSpec",
+    "RackTopology",
+    "SimulationReport",
+    "TaskCost",
+    "TaskSpan",
+    "TheoryComparison",
+    "Trace",
+    "build_trace",
+    "locality_profile",
+    "rack_aware_placement",
+    "read_locality",
+    "schedule_lpt",
+    "schedule_lpt_heterogeneous",
+    "schedule_round_robin",
+]

@@ -1,0 +1,185 @@
+"""Rack-aware topology: the network shape of the paper's EC2-era clusters.
+
+Hadoop 0.20's placement and scheduling are rack-aware: replicas go one
+on the writer's node, one on a *different rack*, one elsewhere on that
+second rack; task input reads are classified node-local / rack-local /
+off-rack, with bandwidth dropping at each level.  This module adds that
+structure to the simulator:
+
+- :class:`RackTopology` — nodes grouped into racks, with intra-rack and
+  cross-rack bandwidths;
+- :func:`rack_aware_placement` — the classic 3-replica policy;
+- :func:`read_locality` — classify a (reader, replicas) pair and price
+  the read.
+
+It composes with :class:`~repro.mapreduce.hdfs.DistributedFileSystem`
+(which handles block splitting) by overriding placements.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+
+from .._util import MB
+
+
+class Locality(Enum):
+    """Hadoop's three read-locality levels."""
+
+    NODE_LOCAL = "node-local"
+    RACK_LOCAL = "rack-local"
+    OFF_RACK = "off-rack"
+
+
+@dataclass(frozen=True)
+class RackTopology:
+    """Nodes arranged in equal racks with two-tier bandwidth.
+
+    - ``num_nodes`` total nodes, ``nodes_per_rack`` each (last rack may
+      be short);
+    - ``intra_rack_bandwidth`` — node ↔ node within a rack (the ToR
+      switch), typically ≈ NIC speed;
+    - ``cross_rack_bandwidth`` — the oversubscribed core uplink share.
+    """
+
+    num_nodes: int
+    nodes_per_rack: int = 4
+    intra_rack_bandwidth: float = 100 * MB
+    cross_rack_bandwidth: float = 25 * MB
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.nodes_per_rack < 1:
+            raise ValueError(
+                f"nodes_per_rack must be >= 1, got {self.nodes_per_rack}"
+            )
+        if self.intra_rack_bandwidth <= 0 or self.cross_rack_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+
+    @property
+    def num_racks(self) -> int:
+        return -(-self.num_nodes // self.nodes_per_rack)
+
+    def rack_of(self, node: int) -> int:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
+        return node // self.nodes_per_rack
+
+    def rack_members(self, rack: int) -> list[int]:
+        if not 0 <= rack < self.num_racks:
+            raise ValueError(f"rack {rack} out of range [0, {self.num_racks})")
+        lo = rack * self.nodes_per_rack
+        hi = min(lo + self.nodes_per_rack, self.num_nodes)
+        return list(range(lo, hi))
+
+    def bandwidth_between(self, a: int, b: int) -> float:
+        """Effective bandwidth for a transfer a → b (∞ modelled as intra)."""
+        if a == b:
+            return float("inf")
+        if self.rack_of(a) == self.rack_of(b):
+            return self.intra_rack_bandwidth
+        return self.cross_rack_bandwidth
+
+
+def rack_aware_placement(
+    topology: RackTopology,
+    num_blocks: int,
+    *,
+    replication: int = 3,
+    seed: int = 0,
+) -> list[list[int]]:
+    """Hadoop's default policy, per block: writer's node, then a node on a
+    *different* rack, then a second node on that same remote rack; extra
+    replicas spread randomly.  Writers rotate across nodes.
+
+    Returns one replica-node list per block (first entry = primary).
+    Degenerates gracefully on single-rack or tiny clusters.
+    """
+    if num_blocks < 0:
+        raise ValueError(f"num_blocks must be >= 0, got {num_blocks}")
+    if replication < 1:
+        raise ValueError(f"replication must be >= 1, got {replication}")
+    rng = random.Random(seed)
+    placements: list[list[int]] = []
+    for block in range(num_blocks):
+        writer = block % topology.num_nodes
+        replicas = [writer]
+        effective = min(replication, topology.num_nodes)
+        if effective >= 2 and topology.num_racks >= 2:
+            remote_racks = [
+                r for r in range(topology.num_racks) if r != topology.rack_of(writer)
+            ]
+            remote_rack = remote_racks[block % len(remote_racks)]
+            members = topology.rack_members(remote_rack)
+            second = members[rng.randrange(len(members))]
+            replicas.append(second)
+            if effective >= 3:
+                others = [n for n in members if n not in replicas]
+                if others:
+                    replicas.append(others[rng.randrange(len(others))])
+        # Fill any remaining replicas from anywhere (or when single-rack).
+        while len(replicas) < effective:
+            candidate = rng.randrange(topology.num_nodes)
+            if candidate not in replicas:
+                replicas.append(candidate)
+        placements.append(replicas)
+    return placements
+
+
+def read_locality(
+    topology: RackTopology, reader: int, replicas: list[int]
+) -> Locality:
+    """Best locality level the reader can achieve for this block."""
+    if not replicas:
+        raise ValueError("block has no replicas")
+    if reader in replicas:
+        return Locality.NODE_LOCAL
+    reader_rack = topology.rack_of(reader)
+    if any(topology.rack_of(node) == reader_rack for node in replicas):
+        return Locality.RACK_LOCAL
+    return Locality.OFF_RACK
+
+
+def read_seconds(
+    topology: RackTopology,
+    reader: int,
+    replicas: list[int],
+    num_bytes: int,
+    *,
+    disk_rate: float = 100 * MB,
+) -> float:
+    """Time to read one block at the best achievable locality.
+
+    Node-local reads go at disk speed; rack-local at the ToR bandwidth;
+    off-rack at the core uplink share (each also bounded by disk).
+    """
+    if num_bytes < 0:
+        raise ValueError(f"bytes must be >= 0, got {num_bytes}")
+    level = read_locality(topology, reader, replicas)
+    if level is Locality.NODE_LOCAL:
+        rate = disk_rate
+    elif level is Locality.RACK_LOCAL:
+        rate = min(disk_rate, topology.intra_rack_bandwidth)
+    else:
+        rate = min(disk_rate, topology.cross_rack_bandwidth)
+    return num_bytes / rate
+
+
+def locality_profile(
+    topology: RackTopology,
+    placements: list[list[int]],
+    readers: list[int],
+    block_bytes: int,
+) -> dict[Locality, int]:
+    """Byte totals per locality level for a full read plan."""
+    if len(placements) != len(readers):
+        raise ValueError(
+            f"{len(placements)} blocks but {len(readers)} reader assignments"
+        )
+    out = {level: 0 for level in Locality}
+    for replicas, reader in zip(placements, readers):
+        out[read_locality(topology, reader, replicas)] += block_bytes
+    return out

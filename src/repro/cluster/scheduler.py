@@ -1,0 +1,128 @@
+"""Task placement: greedy LPT scheduling onto node slots.
+
+The paper's balance demand (§5 demand (a)) is about *task* sizes; how well
+balanced the *nodes* end up also depends on placement.  Hadoop assigns
+tasks to free slots as they come, which for independent tasks approximates
+Longest-Processing-Time-first list scheduling.  LPT is what we implement:
+sort tasks by descending cost, always give the next task to the least
+loaded slot.  (Classical bound: makespan ≤ 4/3 · OPT.)
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from .node import ClusterSpec
+
+
+@dataclass(frozen=True)
+class TaskCost:
+    """One schedulable task: an id and its estimated running time."""
+
+    task_id: int
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(f"task cost must be non-negative, got {self.seconds}")
+
+
+@dataclass
+class Assignment:
+    """Result of scheduling: per-slot loads and task placements."""
+
+    #: task_id -> (node index, slot index within node)
+    placement: dict[int, tuple[int, int]]
+    #: busy seconds per (node, slot)
+    slot_loads: dict[tuple[int, int], float]
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last slot (0 when nothing was scheduled)."""
+        return max(self.slot_loads.values(), default=0.0)
+
+    def node_loads(self) -> dict[int, float]:
+        """Max busy time over each node's slots."""
+        loads: dict[int, float] = {}
+        for (node, _slot), seconds in self.slot_loads.items():
+            loads[node] = max(loads.get(node, 0.0), seconds)
+        return loads
+
+    @property
+    def imbalance(self) -> float:
+        """makespan / mean slot load — 1.0 is perfectly even."""
+        if not self.slot_loads:
+            return 1.0
+        mean_load = sum(self.slot_loads.values()) / len(self.slot_loads)
+        return self.makespan / mean_load if mean_load > 0 else 1.0
+
+
+def schedule_lpt(tasks: Sequence[TaskCost], cluster: ClusterSpec) -> Assignment:
+    """Longest-Processing-Time-first list scheduling over all cluster slots."""
+    slots = [
+        (node_index, slot_index)
+        for node_index, node in enumerate(cluster.nodes)
+        for slot_index in range(node.slots)
+    ]
+    # Heap of (current load, tiebreak, slot); tiebreak keeps determinism.
+    heap: list[tuple[float, int, tuple[int, int]]] = [
+        (0.0, i, slot) for i, slot in enumerate(slots)
+    ]
+    heapq.heapify(heap)
+    placement: dict[int, tuple[int, int]] = {}
+    ordered = sorted(tasks, key=lambda t: (-t.seconds, t.task_id))
+    for task in ordered:
+        load, tiebreak, slot = heapq.heappop(heap)
+        placement[task.task_id] = slot
+        heapq.heappush(heap, (load + task.seconds, tiebreak, slot))
+    slot_loads = {slot: 0.0 for slot in slots}
+    for task in tasks:
+        slot_loads[placement[task.task_id]] += task.seconds
+    return Assignment(placement=placement, slot_loads=slot_loads)
+
+
+def schedule_lpt_heterogeneous(
+    tasks: Sequence[TaskCost], cluster: ClusterSpec
+) -> Assignment:
+    """LPT for clusters whose nodes differ in speed (uniform machines).
+
+    Task costs are given in *reference seconds* (the first node's speed);
+    a slot on a node with ``eval_rate`` r runs a task in
+    ``seconds · rate₀ / r``.  Each task goes to the slot that would
+    *finish it earliest* — the classic MET/LPT heuristic for uniformly
+    related machines.
+    """
+    rate0 = cluster.nodes[0].eval_rate
+    slot_speed: dict[tuple[int, int], float] = {}
+    for node_index, node in enumerate(cluster.nodes):
+        for slot_index in range(node.slots):
+            slot_speed[(node_index, slot_index)] = node.eval_rate / rate0
+
+    loads: dict[tuple[int, int], float] = {slot: 0.0 for slot in slot_speed}
+    placement: dict[int, tuple[int, int]] = {}
+    for task in sorted(tasks, key=lambda t: (-t.seconds, t.task_id)):
+        best_slot = min(
+            loads,
+            key=lambda slot: (loads[slot] + task.seconds / slot_speed[slot], slot),
+        )
+        placement[task.task_id] = best_slot
+        loads[best_slot] += task.seconds / slot_speed[best_slot]
+    return Assignment(placement=placement, slot_loads=loads)
+
+
+def schedule_round_robin(tasks: Sequence[TaskCost], cluster: ClusterSpec) -> Assignment:
+    """Naive round-robin placement — the baseline LPT is compared against."""
+    slots = [
+        (node_index, slot_index)
+        for node_index, node in enumerate(cluster.nodes)
+        for slot_index in range(node.slots)
+    ]
+    placement: dict[int, tuple[int, int]] = {}
+    slot_loads = {slot: 0.0 for slot in slots}
+    for position, task in enumerate(sorted(tasks, key=lambda t: t.task_id)):
+        slot = slots[position % len(slots)]
+        placement[task.task_id] = slot
+        slot_loads[slot] += task.seconds
+    return Assignment(placement=placement, slot_loads=slot_loads)

@@ -1,0 +1,157 @@
+"""Execution traces: per-task timelines from a scheduled assignment.
+
+The simulator's :class:`~repro.cluster.scheduler.Assignment` says *where*
+each task runs and how loaded each slot is; a :class:`Trace` adds *when*:
+tasks on one slot run back-to-back in scheduling order, giving every task
+a (start, end) interval.  Traces support
+
+- JSON export (one event per task — loadable into external tooling),
+- an ASCII Gantt chart for quick terminal inspection,
+- utilization statistics (busy fraction per slot, cluster-wide).
+
+This is the observability layer the §6 evaluation would have read off the
+Hadoop JobTracker UI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Sequence
+
+from .node import ClusterSpec
+from .scheduler import TaskCost
+
+
+@dataclass(frozen=True)
+class TaskSpan:
+    """One task's placement and time interval."""
+
+    task_id: int
+    node: int
+    slot: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """A full schedule timeline."""
+
+    spans: list[TaskSpan]
+
+    @property
+    def makespan(self) -> float:
+        return max((span.end for span in self.spans), default=0.0)
+
+    def spans_on(self, node: int, slot: int | None = None) -> list[TaskSpan]:
+        out = [
+            span
+            for span in self.spans
+            if span.node == node and (slot is None or span.slot == slot)
+        ]
+        return sorted(out, key=lambda s: s.start)
+
+    def utilization(self) -> dict[tuple[int, int], float]:
+        """Busy fraction of each slot over the makespan."""
+        total = self.makespan
+        if total == 0:
+            return {}
+        busy: dict[tuple[int, int], float] = {}
+        for span in self.spans:
+            key = (span.node, span.slot)
+            busy[key] = busy.get(key, 0.0) + span.duration
+        return {key: value / total for key, value in busy.items()}
+
+    def mean_utilization(self) -> float:
+        values = list(self.utilization().values())
+        return sum(values) / len(values) if values else 0.0
+
+    # -- export ---------------------------------------------------------------
+    def to_json(self) -> str:
+        """One JSON object per task (Chrome-trace-adjacent layout)."""
+        events = [
+            {
+                "task": span.task_id,
+                "node": span.node,
+                "slot": span.slot,
+                "start": span.start,
+                "end": span.end,
+            }
+            for span in sorted(self.spans, key=lambda s: (s.node, s.slot, s.start))
+        ]
+        return json.dumps(events, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        events = json.loads(text)
+        return cls(
+            spans=[
+                TaskSpan(
+                    task_id=e["task"], node=e["node"], slot=e["slot"],
+                    start=e["start"], end=e["end"],
+                )
+                for e in events
+            ]
+        )
+
+    def gantt(self, width: int = 72) -> str:
+        """ASCII Gantt: one row per slot, task ids mod 10 as fill digits."""
+        if not self.spans:
+            return "(empty trace)"
+        if width < 10:
+            raise ValueError(f"gantt needs width >= 10, got {width}")
+        total = self.makespan
+        slots = sorted({(span.node, span.slot) for span in self.spans})
+        lines = [f"0{' ' * (width - len(str(round(total, 1))) - 1)}{round(total, 1)}s"]
+        for node, slot in slots:
+            row = [" "] * width
+            for span in self.spans_on(node, slot):
+                lo = int(span.start / total * (width - 1))
+                hi = max(lo + 1, int(span.end / total * (width - 1)))
+                digit = str(span.task_id % 10)
+                for col in range(lo, min(hi, width)):
+                    row[col] = digit
+            lines.append(f"n{node}.s{slot} |{''.join(row)}|")
+        return "\n".join(lines)
+
+
+def build_trace(
+    tasks: Sequence[TaskCost],
+    cluster: ClusterSpec,
+    *,
+    scheduler=None,
+) -> Trace:
+    """Schedule tasks (LPT by default) and derive their timeline.
+
+    Tasks placed on the same slot start in descending-cost order (the
+    order LPT assigned them), each beginning when its predecessor ends.
+    """
+    from .scheduler import schedule_lpt
+
+    schedule = scheduler or schedule_lpt
+    assignment = schedule(tasks, cluster)
+    cost_of = {task.task_id: task.seconds for task in tasks}
+    # Reconstruct per-slot execution order: LPT assigns longest first.
+    per_slot: dict[tuple[int, int], list[int]] = {}
+    for task in sorted(tasks, key=lambda t: (-t.seconds, t.task_id)):
+        per_slot.setdefault(assignment.placement[task.task_id], []).append(
+            task.task_id
+        )
+    spans = []
+    for slot, task_ids in per_slot.items():
+        clock = 0.0
+        for task_id in task_ids:
+            duration = cost_of[task_id]
+            spans.append(
+                TaskSpan(
+                    task_id=task_id, node=slot[0], slot=slot[1],
+                    start=clock, end=clock + duration,
+                )
+            )
+            clock += duration
+    return Trace(spans=spans)

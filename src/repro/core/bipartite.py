@@ -1,0 +1,324 @@
+"""Two-set pairwise computation (the paper's §1 generalization).
+
+The paper notes "it is possible to generalize some of the approaches such
+that elements of one set can be paired with elements of another set" —
+the R × S cross product (a θ-join's evaluation pattern) instead of the
+S × S triangle.  This module carries that generalization through:
+
+- :class:`BipartiteBroadcastScheme` — one side (the smaller, by
+  convention R) is replicated to every task; the rectangle of pairs is
+  enumerated row-major and chunked, exactly like §5.1's triangle chunks.
+- :class:`BipartiteBlockScheme` — the rectangle is tiled into an
+  ``h_r × h_s`` grid of blocks, each task receiving one R-chunk and one
+  S-chunk; replication is h_s for R-elements and h_r for S-elements
+  (§5.2 without the diagonal special case, which a rectangle doesn't
+  have).
+
+There is no natural design-scheme analogue: a projective plane's
+exactly-once property is about 2-subsets of *one* point set.  (The
+algebraic counterpart — transversal designs / orthogonal arrays — reduces
+to exactly the grid tiling the block scheme already provides.)
+
+Element addressing: side ``"r"`` ids ``1..vr``, side ``"s"`` ids
+``1..vs``.  Pairs are ``(r_id, s_id)`` tuples; working-set members are
+``(side, id)`` tuples.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from .._util import ceil_div
+
+SideId = tuple[str, int]  #: ("r", 3) or ("s", 17)
+CrossPair = tuple[int, int]  #: (r_id, s_id)
+
+
+@dataclass(frozen=True)
+class BipartiteMetrics:
+    """Table-1-style characteristics for a two-set scheme."""
+
+    scheme: str
+    vr: int
+    vs: int
+    num_tasks: int
+    communication_records: int
+    replication_r: float
+    replication_s: float
+    working_set_elements: int
+    evaluations_per_task: float
+
+
+class BipartiteScheme(abc.ABC):
+    """Partition the rectangle R × S into tasks, each pair exactly once."""
+
+    name = "bipartite-abstract"
+
+    def __init__(self, vr: int, vs: int):
+        if vr < 1 or vs < 1:
+            raise ValueError(f"both sides need >= 1 element, got vr={vr}, vs={vs}")
+        self.vr = vr
+        self.vs = vs
+
+    @property
+    @abc.abstractmethod
+    def num_tasks(self) -> int:
+        """Number of independent tasks."""
+
+    @abc.abstractmethod
+    def get_subsets(self, side: str, element_id: int) -> list[int]:
+        """Tasks the element of the given side joins."""
+
+    @abc.abstractmethod
+    def get_pairs(self, subset_id: int) -> list[CrossPair]:
+        """Cross pairs (r_id, s_id) task ``subset_id`` evaluates."""
+
+    @abc.abstractmethod
+    def subset_members(self, subset_id: int) -> list[SideId]:
+        """All (side, id) members of a task's working set."""
+
+    @abc.abstractmethod
+    def metrics(self) -> BipartiteMetrics:
+        """Analytic characteristics."""
+
+    # -- shared helpers ----------------------------------------------------------
+    def _check_side(self, side: str, element_id: int) -> None:
+        if side == "r":
+            bound = self.vr
+        elif side == "s":
+            bound = self.vs
+        else:
+            raise ValueError(f"side must be 'r' or 's', got {side!r}")
+        if not 1 <= element_id <= bound:
+            raise ValueError(
+                f"element id {element_id} out of range [1, {bound}] for side {side}"
+            )
+
+    def _check_subset(self, subset_id: int) -> None:
+        if not 0 <= subset_id < self.num_tasks:
+            raise ValueError(f"subset id {subset_id} out of range [0, {self.num_tasks})")
+
+    def iter_subsets(self) -> Iterator[tuple[int, list[SideId]]]:
+        for subset_id in range(self.num_tasks):
+            yield subset_id, self.subset_members(subset_id)
+
+    def total_pairs(self) -> int:
+        return self.vr * self.vs
+
+    def describe(self) -> str:
+        return f"{self.name}(vr={self.vr}, vs={self.vs}, tasks={self.num_tasks})"
+
+
+class BipartiteBroadcastScheme(BipartiteScheme):
+    """Replicate side R everywhere; chunk the rectangle's pair labels.
+
+    Pair label ``p(r, s) = (s − 1)·vr + r`` enumerates the rectangle
+    column-by-column (all of R against s₁, then against s₂, …); task l
+    takes labels ``l·h+1 … (l+1)·h`` with ``h = ⌈vr·vs / p⌉``.  Like the
+    §5.1 triangle form, every task needs all of R but only the S-slice
+    its chunk touches — and R travels once via the distributed cache in
+    the one-job implementation.
+    """
+
+    name = "bipartite-broadcast"
+
+    def __init__(self, vr: int, vs: int, num_tasks: int):
+        super().__init__(vr, vs)
+        if num_tasks < 1:
+            raise ValueError(f"num_tasks must be >= 1, got {num_tasks}")
+        self._num_tasks = num_tasks
+        self.chunk = ceil_div(vr * vs, num_tasks)
+
+    @property
+    def num_tasks(self) -> int:
+        return self._num_tasks
+
+    def task_labels(self, subset_id: int) -> range:
+        self._check_subset(subset_id)
+        total = self.vr * self.vs
+        lo = subset_id * self.chunk + 1
+        hi = min((subset_id + 1) * self.chunk, total)
+        return range(lo, hi + 1)
+
+    def label_to_pair(self, p: int) -> CrossPair:
+        if not 1 <= p <= self.vr * self.vs:
+            raise ValueError(f"label {p} out of range [1, {self.vr * self.vs}]")
+        s_id = (p - 1) // self.vr + 1
+        r_id = (p - 1) % self.vr + 1
+        return (r_id, s_id)
+
+    def get_pairs(self, subset_id: int) -> list[CrossPair]:
+        return [self.label_to_pair(p) for p in self.task_labels(subset_id)]
+
+    def get_subsets(self, side: str, element_id: int) -> list[int]:
+        self._check_side(side, element_id)
+        if side == "r":
+            return list(range(self._num_tasks))  # R is broadcast
+        # Side S: only tasks whose label chunk touches column element_id.
+        first_label = (element_id - 1) * self.vr + 1
+        last_label = element_id * self.vr
+        first_task = (first_label - 1) // self.chunk
+        last_task = min((last_label - 1) // self.chunk, self._num_tasks - 1)
+        return list(range(first_task, last_task + 1))
+
+    def subset_members(self, subset_id: int) -> list[SideId]:
+        labels = self.task_labels(subset_id)
+        members: list[SideId] = [("r", r) for r in range(1, self.vr + 1)]
+        s_ids = sorted({(p - 1) // self.vr + 1 for p in labels})
+        members.extend(("s", s) for s in s_ids)
+        return members
+
+    def metrics(self) -> BipartiteMetrics:
+        p = self._num_tasks
+        # Every S element is in ⌈its column span⌉ tasks ≈ 1 + vr/chunk.
+        s_repl = sum(len(self.get_subsets("s", s)) for s in range(1, self.vs + 1)) / self.vs
+        max_ws = max(len(self.subset_members(t)) for t in range(p))
+        return BipartiteMetrics(
+            scheme=self.name,
+            vr=self.vr,
+            vs=self.vs,
+            num_tasks=p,
+            communication_records=2 * (self.vr * p + int(round(s_repl * self.vs))),
+            replication_r=float(p),
+            replication_s=s_repl,
+            working_set_elements=max_ws,
+            evaluations_per_task=self.vr * self.vs / p,
+        )
+
+
+class BipartiteBlockScheme(BipartiteScheme):
+    """Tile R × S with an ``h_r × h_s`` grid of rectangular blocks.
+
+    Task ``(a, b)`` (0-indexed, id ``a·h_s + b``) pairs R-chunk ``a``
+    against S-chunk ``b``: every R element appears in ``h_s`` tasks and
+    every S element in ``h_r`` — the bipartite analogue of §5.2's
+    "replication factor h".
+    """
+
+    name = "bipartite-block"
+
+    def __init__(self, vr: int, vs: int, hr: int, hs: int):
+        super().__init__(vr, vs)
+        if not 1 <= hr <= vr:
+            raise ValueError(f"hr must be in [1, {vr}], got {hr}")
+        if not 1 <= hs <= vs:
+            raise ValueError(f"hs must be in [1, {vs}], got {hs}")
+        self.er = ceil_div(vr, hr)
+        self.es = ceil_div(vs, hs)
+        self.hr = ceil_div(vr, self.er)  # effective factors
+        self.hs = ceil_div(vs, self.es)
+
+    @property
+    def num_tasks(self) -> int:
+        return self.hr * self.hs
+
+    def _chunk(self, side: str, index: int) -> list[int]:
+        """1-indexed element ids of chunk ``index`` (0-indexed) on a side."""
+        edge = self.er if side == "r" else self.es
+        bound = self.vr if side == "r" else self.vs
+        lo = index * edge + 1
+        hi = min((index + 1) * edge, bound)
+        return list(range(lo, hi + 1))
+
+    def task_position(self, subset_id: int) -> tuple[int, int]:
+        self._check_subset(subset_id)
+        return divmod(subset_id, self.hs)
+
+    def get_pairs(self, subset_id: int) -> list[CrossPair]:
+        a, b = self.task_position(subset_id)
+        return [(r, s) for r in self._chunk("r", a) for s in self._chunk("s", b)]
+
+    def get_subsets(self, side: str, element_id: int) -> list[int]:
+        self._check_side(side, element_id)
+        if side == "r":
+            a = (element_id - 1) // self.er
+            return [a * self.hs + b for b in range(self.hs)]
+        b = (element_id - 1) // self.es
+        return [a * self.hs + b for a in range(self.hr)]
+
+    def subset_members(self, subset_id: int) -> list[SideId]:
+        a, b = self.task_position(subset_id)
+        members: list[SideId] = [("r", r) for r in self._chunk("r", a)]
+        members.extend(("s", s) for s in self._chunk("s", b))
+        return members
+
+    def metrics(self) -> BipartiteMetrics:
+        return BipartiteMetrics(
+            scheme=self.name,
+            vr=self.vr,
+            vs=self.vs,
+            num_tasks=self.num_tasks,
+            communication_records=2 * (self.vr * self.hs + self.vs * self.hr),
+            replication_r=float(self.hs),
+            replication_s=float(self.hr),
+            working_set_elements=self.er + self.es,
+            evaluations_per_task=float(self.er * self.es),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Validation and execution
+# ---------------------------------------------------------------------------
+
+def check_bipartite_exactly_once(scheme: BipartiteScheme) -> tuple[bool, str]:
+    """Every (r, s) pair exactly once, locally servable, views consistent."""
+    seen: dict[CrossPair, int] = {}
+    for subset_id, members in scheme.iter_subsets():
+        member_set = set(members)
+        for r, s in scheme.get_pairs(subset_id):
+            if ("r", r) not in member_set or ("s", s) not in member_set:
+                return False, f"pair ({r}, {s}) not servable in task {subset_id}"
+            seen[(r, s)] = seen.get((r, s), 0) + 1
+    expected = scheme.total_pairs()
+    if len(seen) != expected:
+        return False, f"covered {len(seen)} pairs, expected {expected}"
+    duplicates = [pair for pair, count in seen.items() if count != 1]
+    if duplicates:
+        return False, f"duplicated pairs: {duplicates[:5]}"
+    # Map-side / reduce-side agreement.
+    for side, bound in (("r", scheme.vr), ("s", scheme.vs)):
+        for eid in range(1, bound + 1):
+            for subset_id in scheme.get_subsets(side, eid):
+                if (side, eid) not in set(scheme.subset_members(subset_id)):
+                    return False, (
+                        f"get_subsets({side}, {eid}) claims task {subset_id} "
+                        "but subset_members disagrees"
+                    )
+    return True, "ok"
+
+
+def run_bipartite(
+    r_payloads: Sequence,
+    s_payloads: Sequence,
+    comp,
+    scheme: BipartiteScheme,
+) -> dict[CrossPair, object]:
+    """Evaluate ``comp(r, s)`` on every cross pair under the scheme.
+
+    In-process reference runner (the MR form reuses the standard engine
+    with (side, id) keys; see tests).  Returns ``{(r_id, s_id): result}``.
+    """
+    if len(r_payloads) != scheme.vr or len(s_payloads) != scheme.vs:
+        raise ValueError(
+            f"payload sizes ({len(r_payloads)}, {len(s_payloads)}) do not "
+            f"match scheme ({scheme.vr}, {scheme.vs})"
+        )
+    out: dict[CrossPair, object] = {}
+    for subset_id in range(scheme.num_tasks):
+        for r, s in scheme.get_pairs(subset_id):
+            key = (r, s)
+            if key in out:
+                raise RuntimeError(f"pair {key} evaluated twice (scheme bug)")
+            out[key] = comp(r_payloads[r - 1], s_payloads[s - 1])
+    return out
+
+
+def brute_force_bipartite(r_payloads: Sequence, s_payloads: Sequence, comp):
+    """Oracle: the full rectangle, directly."""
+    return {
+        (r + 1, s + 1): comp(r_payloads[r], s_payloads[s])
+        for r in range(len(r_payloads))
+        for s in range(len(s_payloads))
+    }

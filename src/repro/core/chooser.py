@@ -1,0 +1,178 @@
+"""Automatic scheme selection — Fig 9b's decision logic as an API.
+
+Given the workload (cardinality v, element size s) and the environment
+limits (maxws, maxis, node count), pick the distribution scheme the
+paper's own analysis recommends:
+
+1. **broadcast** when the whole dataset fits a task slot (``v·s ≤ maxws``)
+   — cheapest structure, one-job execution;
+2. otherwise **block** when a valid blocking factor exists
+   (``v·s ≤ sqrt(maxws·maxis/2)``), choosing h inside the Fig 9a
+   interval (minimal h ⇒ minimal replication/communication by Table 1,
+   optionally balanced against a minimum task count for parallelism);
+3. otherwise **design** when its working set and intermediate storage
+   both fit;
+4. otherwise a **hierarchical** two-level block schedule with the
+   smallest coarse factor H whose per-round requirements fit (§7).
+
+The returned :class:`SchemeChoice` carries the configured scheme (or
+schedule) plus a rationale trail suitable for logging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from .._util import ceil_div, format_bytes
+from .block import BlockScheme
+from .broadcast import BroadcastScheme
+from .cost_model import (
+    block_h_bounds,
+    max_v_broadcast,
+    max_v_design_memory,
+    max_v_design_storage,
+)
+from .design import DesignScheme
+from .hierarchical import HierarchicalBlockScheme
+from .scheme import DistributionScheme
+
+
+class InfeasibleWorkloadError(RuntimeError):
+    """No scheme (flat or hierarchical, within the round cap) fits."""
+
+
+@dataclass
+class SchemeChoice:
+    """Outcome of automatic selection."""
+
+    scheme: Union[DistributionScheme, HierarchicalBlockScheme]
+    rationale: list[str] = field(default_factory=list)
+
+    @property
+    def is_hierarchical(self) -> bool:
+        return isinstance(self.scheme, HierarchicalBlockScheme)
+
+    def explain(self) -> str:
+        return "\n".join(self.rationale)
+
+
+def choose_scheme(
+    v: int,
+    element_size: int,
+    *,
+    maxws: int,
+    maxis: int,
+    num_nodes: int = 8,
+    min_tasks: int | None = None,
+    max_rounds: int = 10_000,
+    allow_prime_powers: bool = False,
+) -> SchemeChoice:
+    """Pick and configure the scheme the paper's analysis recommends.
+
+    ``min_tasks`` (default: 2× the node count) is the parallelism floor;
+    broadcast task count and the block factor are raised to meet it when
+    the limits allow.  ``max_rounds`` caps the hierarchical fallback's
+    sequential rounds before declaring the workload infeasible.
+    """
+    if v < 2:
+        raise ValueError(f"pairwise computation needs v >= 2, got {v}")
+    if element_size < 1 or maxws < 1 or maxis < 1:
+        raise ValueError("element_size, maxws and maxis must be positive")
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    if min_tasks is None:
+        min_tasks = 2 * num_nodes
+
+    rationale: list[str] = [
+        f"workload: v={v}, s={format_bytes(element_size)} "
+        f"(dataset {format_bytes(v * element_size)}); "
+        f"limits: maxws={format_bytes(maxws)}, maxis={format_bytes(maxis)}, "
+        f"n={num_nodes}"
+    ]
+    dataset_bytes = v * element_size
+
+    # 1. Broadcast: dataset fits one task slot.
+    if v <= max_v_broadcast(element_size, maxws):
+        tasks = max(min_tasks, num_nodes)
+        # Replication = tasks; keep intermediate storage honest too.
+        if dataset_bytes * tasks <= maxis:
+            rationale.append(
+                f"broadcast: dataset fits a slot ({format_bytes(dataset_bytes)} "
+                f"<= {format_bytes(maxws)}); p={tasks} tasks"
+            )
+            return SchemeChoice(BroadcastScheme(v, tasks), rationale)
+        rationale.append(
+            "broadcast working set fits but p-fold intermediate storage "
+            "would exceed maxis; falling through to block"
+        )
+    else:
+        rationale.append(
+            f"broadcast infeasible: working set {format_bytes(dataset_bytes)} "
+            f"> maxws {format_bytes(maxws)}"
+        )
+
+    # 2. Block: valid h interval (Fig 9a), pick the smallest h that also
+    #    reaches the parallelism floor.
+    bounds = block_h_bounds(dataset_bytes, maxws, maxis)
+    if bounds.feasible:
+        h = bounds.h_min
+        # h(h+1)/2 tasks; raise h (within the interval) for parallelism.
+        while h < bounds.h_max and h * (h + 1) // 2 < min_tasks:
+            h += 1
+        # The analytic lower bound uses the continuous 2vs/h; the real
+        # working set is 2⌈v/h⌉·s, which can exceed maxws by one group's
+        # rounding — bump h until the discrete working set fits too.
+        while h < min(bounds.h_max, v) and 2 * ceil_div(v, h) * element_size > maxws:
+            h += 1
+        h = min(h, v)  # a factor beyond v is meaningless
+        if 2 * ceil_div(v, h) * element_size <= maxws:
+            rationale.append(
+                f"block: h ∈ [{bounds.h_min}, {bounds.h_max}] valid; chose h={h} "
+                f"({h * (h + 1) // 2} tasks, replication {h})"
+            )
+            return SchemeChoice(BlockScheme(v, h), rationale)
+        rationale.append(
+            "block: analytic h interval exists but the discrete working set "
+            "2⌈v/h⌉·s never fits; falling through"
+        )
+    rationale.append(
+        f"block infeasible: no valid h (needs vs <= "
+        f"{format_bytes(int((maxws * maxis / 2) ** 0.5))})"
+    )
+
+    # 3. Design: both its limits must hold.
+    if v <= max_v_design_storage(element_size, maxis) and v <= max_v_design_memory(
+        element_size, maxws
+    ):
+        rationale.append(
+            "design: √v working set and v√v·s intermediate both fit"
+        )
+        return SchemeChoice(
+            DesignScheme(v, allow_prime_powers=allow_prime_powers, num_nodes=num_nodes),
+            rationale,
+        )
+    rationale.append("design infeasible: √v·s or v^{3/2}·s exceeds a limit")
+
+    # 4. Hierarchical fallback: smallest H whose rounds fit both limits.
+    for H in range(2, v + 1):
+        E = ceil_div(v, H)  # coarse group size
+        # Fine factor must shrink 2E elements under maxws...
+        f_min = max(1, ceil_div(2 * E * element_size, maxws))
+        if f_min > E:
+            continue  # cannot tile finely enough
+        # ...while one round's replicas (≈ 2E·f) stay under maxis.
+        if 2 * E * f_min * element_size > maxis:
+            continue
+        rounds = H * (H + 1) // 2
+        if rounds > max_rounds:
+            break
+        rationale.append(
+            f"hierarchical block: H={H} (E={E}, {rounds} sequential rounds), "
+            f"fine factor f={f_min}"
+        )
+        return SchemeChoice(HierarchicalBlockScheme(v, H, f_min), rationale)
+
+    raise InfeasibleWorkloadError(
+        "no scheme fits: " + "; ".join(rationale)
+    )

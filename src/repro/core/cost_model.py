@@ -1,0 +1,267 @@
+"""Closed-form cost model: Table 1 and the feasibility analysis of Figs 8–9.
+
+The paper's evaluation (§6) is driven by two environment limits:
+
+- ``maxws`` — main memory available to one task (as little as 200 MB on the
+  2010 AWS/Google-IBM clouds once VMs and mapper/reducer slots share a
+  machine), which bounds the *working set*, and
+- ``maxis`` — storage available for materialized intermediate data, which
+  bounds ``replication × dataset size``.
+
+This module encodes each scheme's Table-1 row symbolically and derives the
+exact curves of:
+
+- **Fig 8a** — max v before the *broadcast* working set (the full dataset)
+  hits maxws:  ``v ≤ maxws / s``;
+- **Fig 8b** — max v before the *design* scheme's intermediate data
+  (``v·s·√v``) hits maxis:  ``v ≤ (maxis / s)^(2/3)``;
+- **Fig 9a** — the valid range of the *block* factor h:
+  ``2vs/maxws ≤ h ≤ maxis/(vs)``, non-empty iff
+  ``vs ≤ sqrt(maxws · maxis / 2)``;
+- **Fig 9b** — max v for all three schemes at maxws = 200 MB, maxis = 1 TB.
+  Following the paper's chart, the design curve there uses the maxis limit
+  only; :func:`max_v_design` can additionally apply the (stricter, but not
+  plotted) ``√v·s ≤ maxws`` working-set limit.
+
+All sizes are bytes (decimal units, matching the paper's arithmetic).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .._util import GB, MB, TB, ceil_div, triangle_count
+from .scheme import SchemeMetrics
+
+#: the fixed limits of the paper's Fig 9b comparison
+PAPER_MAXWS = 200 * MB
+PAPER_MAXIS = 1 * TB
+
+
+# ---------------------------------------------------------------------------
+# Table 1: closed-form rows (element/record units, as printed in the paper)
+# ---------------------------------------------------------------------------
+
+def broadcast_row(v: int, p: int) -> SchemeMetrics:
+    """Broadcast column of Table 1 for v elements and p tasks."""
+    if v < 2 or p < 1:
+        raise ValueError(f"need v >= 2 and p >= 1, got v={v}, p={p}")
+    return SchemeMetrics(
+        scheme="broadcast",
+        v=v,
+        num_tasks=p,
+        communication_records=2 * v * p,
+        replication_factor=float(p),
+        working_set_elements=v,
+        evaluations_per_task=triangle_count(v) / p,
+    )
+
+
+def block_row(v: int, h: int) -> SchemeMetrics:
+    """Block column of Table 1 for v elements and blocking factor h."""
+    if v < 2 or h < 1:
+        raise ValueError(f"need v >= 2 and h >= 1, got v={v}, h={h}")
+    e = ceil_div(v, h)
+    return SchemeMetrics(
+        scheme="block",
+        v=v,
+        num_tasks=h * (h + 1) // 2,
+        communication_records=2 * v * h,
+        replication_factor=float(h),
+        working_set_elements=2 * e,
+        evaluations_per_task=float(e * e),
+    )
+
+
+def design_row(v: int, num_nodes: int | None = None) -> SchemeMetrics:
+    """Design column of Table 1 (the paper's √v approximations).
+
+    ``num_nodes`` applies the ``2vn`` cap on communication the paper notes
+    ("sending to all nodes" is the ceiling since √v > n is likely).
+    """
+    if v < 2:
+        raise ValueError(f"need v >= 2, got v={v}")
+    sqrt_v = math.sqrt(v)
+    comm = 2 * v * sqrt_v
+    if num_nodes is not None:
+        comm = min(comm, 2 * v * num_nodes)
+    return SchemeMetrics(
+        scheme="design",
+        v=v,
+        num_tasks=v,  # ≈ q²+q+1 ≥ v
+        communication_records=int(round(comm)),
+        replication_factor=sqrt_v,
+        working_set_elements=int(math.ceil(sqrt_v)),
+        evaluations_per_task=(v - 1) / 2,
+    )
+
+
+def table1(v: int, p: int, h: int, num_nodes: int | None = None) -> list[SchemeMetrics]:
+    """All three Table-1 rows side by side for one parameterization."""
+    return [broadcast_row(v, p), block_row(v, h), design_row(v, num_nodes)]
+
+
+# ---------------------------------------------------------------------------
+# Fig 8a / 8b: per-scheme dataset-size limits
+# ---------------------------------------------------------------------------
+
+def max_v_broadcast(element_size: int, maxws: int) -> int:
+    """Fig 8a: largest v the broadcast scheme fits in ``maxws`` memory.
+
+    The working set is the whole dataset: ``v · s ≤ maxws``.
+    """
+    _check_sizes(element_size, maxws)
+    return maxws // element_size
+
+
+def max_v_design_storage(element_size: int, maxis: int) -> int:
+    """Fig 8b: largest v before design intermediate data exceeds ``maxis``.
+
+    Intermediate data ≈ ``v · s · √v`` (replication √v), so
+    ``v ≤ (maxis / s)^(2/3)`` — computed in exact integer arithmetic as
+    ``v³ · s² ≤ maxis²`` to avoid float round-off at the decade boundaries.
+    """
+    from ..designs.primes import integer_nth_root
+
+    _check_sizes(element_size, maxis)
+    return integer_nth_root(maxis * maxis // (element_size * element_size), 3)
+
+
+def max_v_design_memory(element_size: int, maxws: int) -> int:
+    """Design working-set limit: ``√v · s ≤ maxws`` ⇒ ``v ≤ (maxws/s)²``.
+
+    Not plotted in the paper's Fig 9b but implied by Table 1; exposed for
+    the stricter comparison variant.  Exact integer arithmetic:
+    ``v · s² ≤ maxws²``.
+    """
+    _check_sizes(element_size, maxws)
+    return maxws * maxws // (element_size * element_size)
+
+
+def max_v_design(
+    element_size: int,
+    maxis: int,
+    maxws: int | None = None,
+) -> int:
+    """Design-scheme limit; applies the memory bound only when maxws given."""
+    limit = max_v_design_storage(element_size, maxis)
+    if maxws is not None:
+        limit = min(limit, max_v_design_memory(element_size, maxws))
+    return limit
+
+
+# ---------------------------------------------------------------------------
+# Fig 9a: block-scheme blocking-factor bounds
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BlockFactorRange:
+    """Valid blocking-factor interval for one dataset size (Fig 9a)."""
+
+    dataset_bytes: int
+    h_min: int  #: lower bound from maxws: h ≥ 2·vs/maxws
+    h_max: int  #: upper bound from maxis: h ≤ maxis/vs
+
+    @property
+    def feasible(self) -> bool:
+        return self.h_min <= self.h_max
+
+
+def block_h_bounds(dataset_bytes: int, maxws: int, maxis: int) -> BlockFactorRange:
+    """Fig 9a: the interval ``2vs/maxws ≤ h ≤ maxis/vs``.
+
+    ``dataset_bytes`` is the paper's ``vs`` (cardinality × element size).
+    The working-set bound requires ``2vs/h ≤ maxws`` and the storage bound
+    ``vs·h ≤ maxis``.  h must also be at least 1.
+    """
+    _check_sizes(dataset_bytes, maxws)
+    _check_sizes(dataset_bytes, maxis)
+    h_min = max(1, ceil_div(2 * dataset_bytes, maxws))
+    h_max = maxis // dataset_bytes
+    return BlockFactorRange(dataset_bytes=dataset_bytes, h_min=h_min, h_max=h_max)
+
+
+def max_dataset_bytes_block(maxws: int, maxis: int) -> int:
+    """Fig 9a's intersection: largest vs with a non-empty h range.
+
+    A valid h exists iff ``vs ≤ sqrt(maxws · maxis / 2)``.
+    """
+    _check_sizes(maxws, maxis)
+    return math.isqrt(maxws * maxis // 2)
+
+
+def max_v_block(element_size: int, maxws: int, maxis: int) -> int:
+    """Fig 9b's block curve: ``v ≤ sqrt(maxws·maxis/2) / s``."""
+    _check_sizes(element_size, maxws)
+    return max_dataset_bytes_block(maxws, maxis) // element_size
+
+
+# ---------------------------------------------------------------------------
+# Fig 9b: the three curves on one chart
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig9bPoint:
+    """One x-position of Fig 9b: max v per scheme at one element size."""
+
+    element_size: int
+    broadcast: int
+    block: int
+    design: int
+    #: design limit with the (unplotted) working-set bound also applied
+    design_strict: int
+
+
+def fig9b_curves(
+    element_sizes: list[int],
+    maxws: int = PAPER_MAXWS,
+    maxis: int = PAPER_MAXIS,
+) -> list[Fig9bPoint]:
+    """Evaluate all Fig 9b curves at the given element sizes."""
+    points = []
+    for s in element_sizes:
+        points.append(
+            Fig9bPoint(
+                element_size=s,
+                broadcast=max_v_broadcast(s, maxws),
+                block=max_v_block(s, maxws, maxis),
+                design=max_v_design_storage(s, maxis),
+                design_strict=max_v_design(s, maxis, maxws),
+            )
+        )
+    return points
+
+
+def design_block_crossover(
+    maxws: int = PAPER_MAXWS,
+    maxis: int = PAPER_MAXIS,
+) -> float:
+    """Element size where the design and block curves of Fig 9b cross.
+
+    Setting ``sqrt(maxws·maxis/2)/s = (maxis/s)^(2/3)`` gives
+    ``s = (maxws/2)^3 / maxis ** ... `` — solved directly below.  With the
+    paper's limits (200 MB, 1 TB) this lands at 1 MB, matching its
+    observation that "for large elements (> 1 MB) the design approach
+    allows a few more elements".
+    """
+    c_block = math.sqrt(maxws * maxis / 2)
+    # c_block / s = maxis^(2/3) / s^(2/3)  =>  s^(1/3) = c_block / maxis^(2/3)
+    return (c_block / maxis ** (2.0 / 3.0)) ** 3
+
+
+def log_spaced_sizes(lo: int, hi: int, per_decade: int = 4) -> list[int]:
+    """Logarithmically spaced element sizes for the Fig 8/9 sweeps."""
+    if lo <= 0 or hi < lo:
+        raise ValueError(f"need 0 < lo <= hi, got lo={lo}, hi={hi}")
+    decades = math.log10(hi / lo)
+    count = max(2, int(round(decades * per_decade)) + 1)
+    ratio = (hi / lo) ** (1.0 / (count - 1))
+    sizes = sorted({int(round(lo * ratio**k)) for k in range(count)})
+    return sizes
+
+
+def _check_sizes(*values: int) -> None:
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"sizes must be positive, got {value}")

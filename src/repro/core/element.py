@@ -1,0 +1,205 @@
+"""Elements and their per-pair result lists (the storage layout of Fig. 2).
+
+An :class:`Element` carries a unique integer id, an opaque payload, and the
+results of the pairwise evaluations it has participated in so far, keyed by
+the partner element's id::
+
+    s1  <payload...>  {s2: comp(s1,s2), s3: comp(s1,s3), ...}
+
+Because the distribution schemes replicate elements into several working
+sets, multiple *copies* of an element accumulate disjoint partial result
+maps; :func:`merge_copies` (used by the aggregation job, Algorithm 2) fuses
+them back into one element.  A partner id appearing in two copies signals a
+pair evaluated twice — a violation of the schemes' exactly-once guarantee —
+and raises :class:`DuplicatePairError` unless the caller opts out.
+
+:func:`element_size_bytes` reproduces the §3 storage arithmetic (the
+"10,000 × 500 KB elements → 6.5 GB, not 50 TB" example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+
+class DuplicatePairError(RuntimeError):
+    """A pair was evaluated in more than one working set."""
+
+
+@dataclass
+class Element:
+    """One dataset element: identity, payload, and accumulated pair results.
+
+    ``eid`` is 1-indexed to match the paper's ``s1 … sv`` notation; the
+    workload generators hand out contiguous ids.  ``results`` maps partner
+    id → evaluation result.
+    """
+
+    eid: int
+    payload: Any = None
+    results: dict[int, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.eid < 1:
+            raise ValueError(f"element ids are 1-indexed, got {self.eid}")
+
+    def add_result(self, partner: int, value: Any) -> None:
+        """Record ``comp(self, partner) = value`` (Algorithm 1's addResult)."""
+        if partner == self.eid:
+            raise ValueError(f"element {self.eid} paired with itself")
+        if partner in self.results:
+            raise DuplicatePairError(
+                f"pair ({self.eid}, {partner}) evaluated more than once"
+            )
+        self.results[partner] = value
+
+    def copy_without_results(self) -> "Element":
+        """A fresh copy sharing the payload but with an empty result map.
+
+        This is what the distribution map phase emits: each working set gets
+        its own copy so that parallel reducers never share mutable state.
+        """
+        return Element(self.eid, self.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Element(eid={self.eid}, results={len(self.results)})"
+
+
+def merge_copies(
+    copies: Iterable[Element],
+    *,
+    on_duplicate: str = "error",
+    combine: Callable[[Any, Any], Any] | None = None,
+) -> Element:
+    """Fuse all copies of one element into a single element (Algorithm 2).
+
+    ``on_duplicate`` controls what happens when two copies both carry a
+    result for the same partner (which the schemes guarantee never happens):
+
+    - ``"error"``   — raise :class:`DuplicatePairError` (default; catches
+      scheme bugs in tests),
+    - ``"keep"``    — keep the first value seen,
+    - ``"combine"`` — apply ``combine(old, new)``.
+    """
+    if on_duplicate not in ("error", "keep", "combine"):
+        raise ValueError(f"unknown duplicate policy: {on_duplicate!r}")
+    if on_duplicate == "combine" and combine is None:
+        raise ValueError("on_duplicate='combine' requires a combine function")
+
+    merged: Element | None = None
+    for copy in copies:
+        if merged is None:
+            merged = Element(copy.eid, copy.payload, dict(copy.results))
+            continue
+        if copy.eid != merged.eid:
+            raise ValueError(
+                f"cannot merge copies of different elements "
+                f"({merged.eid} vs {copy.eid})"
+            )
+        if merged.payload is None and copy.payload is not None:
+            merged.payload = copy.payload
+        for partner, value in copy.results.items():
+            if partner in merged.results:
+                if on_duplicate == "error":
+                    raise DuplicatePairError(
+                        f"pair ({merged.eid}, {partner}) appears in multiple copies"
+                    )
+                if on_duplicate == "combine":
+                    merged.results[partner] = combine(merged.results[partner], value)  # type: ignore[misc]
+                # "keep": leave the existing value
+            else:
+                merged.results[partner] = value
+    if merged is None:
+        raise ValueError("merge_copies got an empty iterable")
+    return merged
+
+
+def element_size_bytes(
+    payload_size: int,
+    num_results: int,
+    *,
+    id_bytes: int = 8,
+    result_bytes: int = 8,
+) -> int:
+    """Post-computation element size per the paper's §3 model.
+
+    Each stored result costs one partner id plus one result value
+    (``id_bytes + result_bytes``, 16 B with the paper's defaults), so an
+    element of payload size ``payload_size`` that was compared against
+    ``num_results`` partners occupies
+    ``payload_size + num_results · (id_bytes + result_bytes)`` bytes.
+    """
+    if payload_size < 0 or num_results < 0:
+        raise ValueError("sizes must be non-negative")
+    return payload_size + num_results * (id_bytes + result_bytes)
+
+
+def dataset_size_bytes(
+    v: int,
+    payload_size: int,
+    *,
+    with_results: bool = False,
+    id_bytes: int = 8,
+    result_bytes: int = 8,
+) -> int:
+    """Total dataset size before or after the pairwise computation (§3).
+
+    ``with_results=True`` adds the full result lists (v−1 partners per
+    element) — the paper's example: v = 10,000 and payload 500 KB gives
+    5 GB before and ≈ 6.5 GB after (instead of the 50 TB a naive quadratic
+    materialization would need).
+    """
+    if v < 0:
+        raise ValueError(f"v must be non-negative, got {v}")
+    per_element = payload_size
+    if with_results and v > 0:
+        per_element = element_size_bytes(
+            payload_size, v - 1, id_bytes=id_bytes, result_bytes=result_bytes
+        )
+    return v * per_element
+
+
+def make_elements(payloads: Iterable[Any]) -> list[Element]:
+    """Wrap raw payloads into elements with ids 1, 2, 3, …"""
+    return [Element(i + 1, payload) for i, payload in enumerate(payloads)]
+
+
+def ordered_results(
+    elements: Mapping[int, Element] | Iterable[Element],
+) -> dict[tuple[int, int], Any]:
+    """Flatten result maps keeping orientation: ``(i, j) → i's result for j``.
+
+    The non-symmetric counterpart of :func:`results_matrix` — no symmetry
+    check, both orientations kept as distinct keys.
+    """
+    items = list(elements.values()) if isinstance(elements, Mapping) else list(elements)
+    out: dict[tuple[int, int], Any] = {}
+    for element in items:
+        for partner, value in element.results.items():
+            out[(element.eid, partner)] = value
+    return out
+
+
+def results_matrix(elements: Mapping[int, Element] | Iterable[Element]) -> dict[tuple[int, int], Any]:
+    """Flatten per-element result maps into one canonical (i>j) pair map.
+
+    Verifies symmetry on the way: if both orientations of a pair are stored
+    they must agree.
+    """
+    if isinstance(elements, Mapping):
+        items = list(elements.values())
+    else:
+        items = list(elements)
+    out: dict[tuple[int, int], Any] = {}
+    for element in items:
+        for partner, value in element.results.items():
+            key = (element.eid, partner) if element.eid > partner else (partner, element.eid)
+            if key in out:
+                if out[key] != value:
+                    raise ValueError(
+                        f"asymmetric results for pair {key}: {out[key]!r} vs {value!r}"
+                    )
+            else:
+                out[key] = value
+    return out

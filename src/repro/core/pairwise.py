@@ -1,0 +1,376 @@
+"""The generic parallel pairwise algorithm (paper §4, Algorithms 1 & 2).
+
+Three execution paths, all driven by a :class:`DistributionScheme`:
+
+1. :meth:`PairwiseComputation.run` — the faithful **two-MR-job** pipeline:
+
+   - *Job 1* (Algorithm 1): the map phase calls ``getSubsets`` and emits a
+     copy of each element per working set; the shuffle groups working
+     sets onto reducers; each reducer calls ``getPairs``, evaluates them,
+     attaches both orientations of every result (``addResult``), and
+     re-emits the copies keyed by element id.
+   - *Job 2* (Algorithm 2): identity map; the shuffle groups an element's
+     copies; the reducer applies ``aggregateResults``.
+
+2. :meth:`PairwiseComputation.run_broadcast_job` — the paper's optimized
+   **one-job** form for the broadcast scheme: the dataset travels in the
+   distributed cache, map tasks evaluate their label chunk, the single
+   reduce phase aggregates per element.
+
+3. :meth:`PairwiseComputation.run_local` — the same three abstract steps
+   without the MR machinery (fast in-process reference; tests compare the
+   MR paths against it).
+
+The pair function ``comp(payload_i, payload_j)`` must be symmetric (§1's
+standing assumption) and picklable for the multiprocess engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from ..mapreduce.job import Context, Job, Mapper, Reducer
+from ..mapreduce.pipeline import Pipeline, PipelineResult
+from ..mapreduce.runtime import Engine, SerialEngine
+from .aggregate import Aggregator, ConcatAggregator
+from .broadcast import BroadcastScheme
+from .element import Element, merge_copies
+from .scheme import DistributionScheme
+
+PairFunction = Callable[[Any, Any], Any]
+
+#: counter group for application-level metering
+PAIRWISE_GROUP = "pairwise"
+EVALUATIONS = "evaluations"
+REPLICAS_EMITTED = "replicas_emitted"
+MAX_WORKING_SET_RECORDS = "max_working_set_records"
+MAX_WORKING_SET_BYTES = "max_working_set_bytes"
+
+
+class DistributeMapper(Mapper):
+    """Algorithm 1's map: emit (working set, element copy) per getSubsets."""
+
+    def map(self, key: Any, value: Element, context: Context) -> None:
+        scheme: DistributionScheme = context.config["scheme"]
+        for subset_id in scheme.get_subsets(value.eid):
+            context.emit(subset_id, value.copy_without_results())
+            context.counters.increment(PAIRWISE_GROUP, REPLICAS_EMITTED)
+
+
+class ComputeReducer(Reducer):
+    """Algorithm 1's reduce: getPairs, evaluate, addResult both ways.
+
+    With ``symmetric=False`` in the job config (the paper's "marginal
+    modification" for non-symmetric evaluations, §1) each unordered pair
+    is still *visited* once — the schemes guarantee that — but both
+    orientations are computed: element i stores ``comp(sᵢ, sⱼ)`` and
+    element j stores ``comp(sⱼ, sᵢ)``.
+    """
+
+    def reduce(self, key: int, values: Any, context: Context) -> None:
+        scheme: DistributionScheme = context.config["scheme"]
+        comp: PairFunction = context.config["comp"]
+        symmetric: bool = context.config.get("symmetric", True)
+        elements: dict[int, Element] = {}
+        for element in values:
+            if element.eid in elements:
+                raise ValueError(
+                    f"working set {key} received element {element.eid} twice"
+                )
+            elements[element.eid] = element
+        member_ids = sorted(elements)
+        # §6's measured quantity: the peak working set actually held by a
+        # reduce task — records and (declared) bytes — as a max-gauge.
+        from ..mapreduce.serialization import record_size
+
+        context.counters.set_max(
+            PAIRWISE_GROUP, MAX_WORKING_SET_RECORDS, len(elements)
+        )
+        context.counters.set_max(
+            PAIRWISE_GROUP,
+            MAX_WORKING_SET_BYTES,
+            sum(record_size(eid, el) for eid, el in elements.items()),
+        )
+        for i, j in scheme.get_pairs(key, member_ids):
+            result = comp(elements[i].payload, elements[j].payload)
+            elements[i].add_result(j, result)
+            if symmetric:
+                elements[j].add_result(i, result)
+            else:
+                elements[j].add_result(i, comp(elements[j].payload, elements[i].payload))
+                context.counters.increment(PAIRWISE_GROUP, EVALUATIONS)
+            context.counters.increment(PAIRWISE_GROUP, EVALUATIONS)
+        for eid in member_ids:
+            context.emit(eid, elements[eid])
+
+
+class AggregateReducer(Reducer):
+    """Algorithm 2's reduce: fuse all copies of one element."""
+
+    def reduce(self, key: int, values: Any, context: Context) -> None:
+        aggregator: Aggregator = context.config["aggregator"]
+        context.emit(key, aggregator(list(values)))
+
+
+class BroadcastPairMapper(Mapper):
+    """One-job broadcast map: evaluate a task's label chunk from the cache.
+
+    Input records are ``(task_id, None)`` descriptors; the dataset comes
+    from the distributed cache as ``{eid: payload}``.  Emits partial
+    results keyed by element id — both orientations, like addResult.
+    """
+
+    def map(self, key: int, value: Any, context: Context) -> None:
+        scheme: BroadcastScheme = context.config["scheme"]
+        comp: PairFunction = context.config["comp"]
+        symmetric: bool = context.config.get("symmetric", True)
+        payloads: Mapping[int, Any] = context.cache_file("dataset")
+        for i, j in scheme.get_pairs(key):
+            result = comp(payloads[i], payloads[j])
+            context.emit(i, (j, result))
+            if symmetric:
+                context.emit(j, (i, result))
+            else:
+                context.emit(j, (i, comp(payloads[j], payloads[i])))
+                context.counters.increment(PAIRWISE_GROUP, EVALUATIONS)
+            context.counters.increment(PAIRWISE_GROUP, EVALUATIONS)
+
+
+class BroadcastAggregateReducer(Reducer):
+    """One-job broadcast reduce: rebuild the element, aggregate its results."""
+
+    def reduce(self, key: int, values: Any, context: Context) -> None:
+        aggregator: Aggregator = context.config["aggregator"]
+        payloads: Mapping[int, Any] = context.cache_file("dataset")
+        element = Element(key, payloads[key])
+        for partner, result in values:
+            element.add_result(partner, result)
+        context.emit(key, aggregator([element]))
+
+
+class PairwiseComputation:
+    """End-to-end pairwise evaluation under a distribution scheme.
+
+    Parameters
+    ----------
+    scheme:
+        Any :class:`DistributionScheme`; its ``v`` must equal the dataset
+        cardinality passed to the run methods.
+    comp:
+        Symmetric pair function over element payloads.  Must be defined at
+        module level (picklable) to use :class:`MultiprocessEngine`.
+    aggregator:
+        ``aggregateResults`` strategy; default concatenates partial maps
+        and treats duplicate evaluations as errors.
+    engine:
+        MapReduce engine; default :class:`SerialEngine`.
+    num_reduce_tasks:
+        Reducer parallelism for both jobs (default: a reducer per 8 tasks,
+        at least 1 — working sets are spread over reducers like Hadoop
+        spreads partitions over reduce slots).
+    symmetric:
+        ``True`` (the paper's standing assumption): one evaluation serves
+        both elements of a pair.  ``False``: ``comp`` is order-sensitive
+        and both orientations are evaluated — element i receives
+        ``comp(sᵢ, sⱼ)``, element j receives ``comp(sⱼ, sᵢ)`` (the §1
+        footnote's "marginal modification").
+    """
+
+    def __init__(
+        self,
+        scheme: DistributionScheme,
+        comp: PairFunction,
+        *,
+        aggregator: Aggregator | None = None,
+        engine: Engine | None = None,
+        num_reduce_tasks: int | None = None,
+        symmetric: bool = True,
+    ):
+        self.scheme = scheme
+        self.comp = comp
+        self.symmetric = symmetric
+        self.aggregator = aggregator or ConcatAggregator()
+        self.engine = engine or SerialEngine()
+        if num_reduce_tasks is None:
+            num_reduce_tasks = max(1, scheme.num_tasks // 8)
+        if num_reduce_tasks < 1:
+            raise ValueError(f"num_reduce_tasks must be >= 1, got {num_reduce_tasks}")
+        self.num_reduce_tasks = num_reduce_tasks
+
+    # -- input handling --------------------------------------------------------
+    def _as_elements(self, dataset: Sequence[Any]) -> list[Element]:
+        """Accept Elements or raw payloads; enforce ids 1..v and v == scheme.v."""
+        if len(dataset) != self.scheme.v:
+            raise ValueError(
+                f"dataset has {len(dataset)} elements but the scheme was "
+                f"built for v={self.scheme.v}"
+            )
+        if dataset and isinstance(dataset[0], Element):
+            elements = list(dataset)  # type: ignore[arg-type]
+            ids = sorted(element.eid for element in elements)
+            if ids != list(range(1, len(elements) + 1)):
+                raise ValueError(
+                    "element ids must be exactly 1..v; "
+                    f"got min={ids[0]}, max={ids[-1]}, count={len(ids)}"
+                )
+            return elements
+        return [Element(i + 1, payload) for i, payload in enumerate(dataset)]
+
+    # -- execution paths --------------------------------------------------------
+    def build_jobs(self) -> tuple[Job, Job]:
+        """The two MR jobs of the generic algorithm (for inspection/chaining)."""
+        config = {
+            "scheme": self.scheme,
+            "comp": self.comp,
+            "aggregator": self.aggregator,
+            "symmetric": self.symmetric,
+        }
+        job1 = Job(
+            name="pairwise-distribute-compute",
+            mapper=DistributeMapper,
+            reducer=ComputeReducer,
+            num_reducers=self.num_reduce_tasks,
+            config=config,
+        )
+        job2 = Job(
+            name="pairwise-aggregate",
+            reducer=AggregateReducer,
+            num_reducers=self.num_reduce_tasks,
+            config=config,
+        )
+        return job1, job2
+
+    def run(
+        self,
+        dataset: Sequence[Any],
+        *,
+        num_map_tasks: int | None = None,
+        return_pipeline: bool = False,
+    ) -> dict[int, Element] | tuple[dict[int, Element], PipelineResult]:
+        """Run the faithful two-job pipeline; returns ``{eid: Element}``.
+
+        ``return_pipeline=True`` additionally returns the
+        :class:`PipelineResult` with per-stage counters (shuffle volume,
+        evaluations — the measured Table-1 quantities).
+        """
+        elements = self._as_elements(dataset)
+        job1, job2 = self.build_jobs()
+        pipeline = Pipeline([job1, job2], engine=self.engine)
+        input_records = [(element.eid, element) for element in elements]
+        result = pipeline.run(input_records, num_map_tasks=num_map_tasks)
+        merged = {key: value for key, value in result.records}
+        if return_pipeline:
+            return merged, result
+        return merged
+
+    def run_broadcast_job(
+        self,
+        dataset: Sequence[Any],
+        *,
+        return_result: bool = False,
+    ):
+        """The broadcast scheme's one-job optimization (paper §5.1).
+
+        Requires a :class:`BroadcastScheme`; the dataset is attached to the
+        distributed cache and map tasks do the evaluations directly.
+        """
+        if not isinstance(self.scheme, BroadcastScheme):
+            raise TypeError(
+                "run_broadcast_job requires a BroadcastScheme, got "
+                f"{type(self.scheme).__name__}"
+            )
+        elements = self._as_elements(dataset)
+        payloads = {element.eid: element.payload for element in elements}
+        job = Job(
+            name="pairwise-broadcast",
+            mapper=BroadcastPairMapper,
+            reducer=BroadcastAggregateReducer,
+            num_reducers=self.num_reduce_tasks,
+            cache={"dataset": payloads},
+            config={
+                "scheme": self.scheme,
+                "comp": self.comp,
+                "aggregator": self.aggregator,
+                "symmetric": self.symmetric,
+            },
+        )
+        # One input record per task; one split per task mirrors Hadoop's
+        # one-mapper-per-task launch of the paper's implementation.
+        task_records = [(task, None) for task in range(self.scheme.num_tasks)]
+        result = self.engine.run(job, task_records, num_map_tasks=self.scheme.num_tasks)
+        merged = {key: value for key, value in result.records}
+        if return_result:
+            return merged, result
+        return merged
+
+    def run_local(self, dataset: Sequence[Any]) -> dict[int, Element]:
+        """In-process reference: same three steps, no MR framework.
+
+        Step 1 builds the working sets, step 2 evaluates each pair relation
+        on copies, step 3 merges copies per element — exactly the semantics
+        of the two-job pipeline, minus serialization.
+        """
+        elements = self._as_elements(dataset)
+        by_id = {element.eid: element for element in elements}
+        copies: dict[int, list[Element]] = {eid: [] for eid in by_id}
+
+        for subset_id, member_ids in self.scheme.iter_subsets():
+            local = {eid: by_id[eid].copy_without_results() for eid in member_ids}
+            for i, j in self.scheme.get_pairs(subset_id, member_ids):
+                result = self.comp(local[i].payload, local[j].payload)
+                local[i].add_result(j, result)
+                if self.symmetric:
+                    local[j].add_result(i, result)
+                else:
+                    local[j].add_result(i, self.comp(local[j].payload, local[i].payload))
+            for eid, copy in local.items():
+                copies[eid].append(copy)
+
+        merged: dict[int, Element] = {}
+        for eid, element_copies in copies.items():
+            if element_copies:
+                merged[eid] = self.aggregator(element_copies)
+            else:  # element in no working set (can't happen for valid schemes)
+                merged[eid] = self.aggregator([by_id[eid].copy_without_results()])
+        return merged
+
+
+def pairwise_results(
+    dataset: Sequence[Any],
+    comp: PairFunction,
+    scheme: DistributionScheme,
+    **kwargs: Any,
+) -> dict[tuple[int, int], Any]:
+    """Convenience: run the two-job pipeline and return the flat pair map.
+
+    Returns ``{(i, j): comp(s_i, s_j)}`` with i > j, 1-indexed ids.
+    """
+    from .element import results_matrix  # local import avoids cycle at module load
+
+    computation = PairwiseComputation(scheme, comp, **kwargs)
+    merged = computation.run(dataset)
+    return results_matrix(merged)
+
+
+def brute_force_results(
+    dataset: Sequence[Any], comp: PairFunction
+) -> dict[tuple[int, int], Any]:
+    """Single-machine reference: evaluate all pairs directly (for tests)."""
+    out: dict[tuple[int, int], Any] = {}
+    for i in range(2, len(dataset) + 1):
+        for j in range(1, i):
+            out[(i, j)] = comp(dataset[i - 1], dataset[j - 1])
+    return out
+
+
+def brute_force_asymmetric(
+    dataset: Sequence[Any], comp: PairFunction
+) -> dict[tuple[int, int], Any]:
+    """Reference for non-symmetric ``comp``: all *ordered* pairs i ≠ j."""
+    out: dict[tuple[int, int], Any] = {}
+    v = len(dataset)
+    for i in range(1, v + 1):
+        for j in range(1, v + 1):
+            if i != j:
+                out[(i, j)] = comp(dataset[i - 1], dataset[j - 1])
+    return out

@@ -1,0 +1,88 @@
+"""One-call pairwise execution with automatic scheme selection.
+
+:func:`auto_pairwise` glues the pieces a user would otherwise assemble by
+hand: estimate the element size, let :func:`repro.core.chooser.choose_scheme`
+pick the scheme the paper's analysis recommends for the environment, and
+run it — through the two-job pipeline for flat schemes or round-by-round
+for a hierarchical schedule.  Returns the merged elements together with
+the :class:`~repro.core.chooser.SchemeChoice` so callers can log the
+decision trail.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable, Sequence
+
+from .._util import GB, MB, TB
+from .chooser import SchemeChoice, choose_scheme
+from .element import Element
+from .hierarchical import HierarchicalBlockScheme, run_rounds
+from .pairwise import PairwiseComputation
+
+
+def estimate_element_size(dataset: Sequence[Any], sample: int = 8) -> int:
+    """Pickled size of a small sample's mean element, in bytes (min 1).
+
+    Honors :class:`~repro.mapreduce.serialization.SizedPayload`
+    declarations via the same accounting the engine uses.
+    """
+    if not dataset:
+        raise ValueError("cannot estimate element size of an empty dataset")
+    from ..mapreduce.serialization import declared_size
+
+    sizes = []
+    step = max(1, len(dataset) // sample)
+    for index in range(0, len(dataset), step):
+        payload = dataset[index]
+        declared = declared_size(payload)
+        if declared is not None:
+            sizes.append(declared)
+        else:
+            sizes.append(len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)))
+        if len(sizes) >= sample:
+            break
+    return max(1, sum(sizes) // len(sizes))
+
+
+def auto_pairwise(
+    dataset: Sequence[Any],
+    comp: Callable[[Any, Any], Any],
+    *,
+    element_size: int | None = None,
+    maxws: int = 200 * MB,
+    maxis: int = 1 * TB,
+    num_nodes: int = 8,
+    aggregator=None,
+    engine=None,
+    symmetric: bool = True,
+) -> tuple[dict[int, Element], SchemeChoice]:
+    """Evaluate all pairs of ``dataset`` under an auto-chosen scheme.
+
+    ``element_size`` defaults to a pickled-size estimate of the payloads;
+    pass the real deployment size when simulating capacity decisions for
+    data bigger than the in-process sample.
+    """
+    if len(dataset) < 2:
+        raise ValueError("pairwise computation needs at least two elements")
+    if element_size is None:
+        element_size = estimate_element_size(dataset)
+    choice = choose_scheme(
+        len(dataset), element_size, maxws=maxws, maxis=maxis, num_nodes=num_nodes
+    )
+    if isinstance(choice.scheme, HierarchicalBlockScheme):
+        merged = run_rounds(dataset, comp, choice.scheme, aggregator=aggregator)
+        if not symmetric:
+            raise NotImplementedError(
+                "hierarchical schedules currently run symmetric functions only"
+            )
+    else:
+        computation = PairwiseComputation(
+            choice.scheme,
+            comp,
+            aggregator=aggregator,
+            engine=engine,
+            symmetric=symmetric,
+        )
+        merged = computation.run(list(dataset))
+    return merged, choice

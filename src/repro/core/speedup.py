@@ -1,0 +1,142 @@
+"""Parallel speedup and efficiency analysis of the distribution schemes.
+
+The paper argues "there will always be many more tasks than nodes
+(p ≥ v > n) so that no node should ever be idle" — a scalability claim
+this module makes quantitative.  From a scheme's Table-1 row and the
+machine model, it predicts
+
+    T(n) = T_comm(n) + T_comp(n)
+         = communication / (n · bandwidth)  +  evaluations · t_eval / n·slots
+           (+ the scheme's per-task floor: the largest single task
+            cannot be split, so T(n) ≥ max_task_time)
+
+and derives speedup ``S(n) = T(1)/T(n)``, efficiency ``S(n)/n``, and the
+knee where communication overtakes computation — the point the paper's
+communication-cost row (2vp vs 2vh vs 2v√v) starts to matter.
+
+Predictions are cross-checked against the discrete
+:class:`~repro.cluster.simulator.ClusterSimulator` in the bench harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .._util import MB
+from .scheme import SchemeMetrics
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """The per-node constants of the speedup model."""
+
+    eval_seconds: float = 1e-4  #: time per pair evaluation
+    bandwidth: float = 100 * MB  #: bytes/second per node link
+    slots_per_node: int = 2
+
+    def __post_init__(self) -> None:
+        if self.eval_seconds <= 0 or self.bandwidth <= 0:
+            raise ValueError("eval_seconds and bandwidth must be positive")
+        if self.slots_per_node < 1:
+            raise ValueError(f"slots_per_node must be >= 1, got {self.slots_per_node}")
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    """Model prediction at one cluster size."""
+
+    nodes: int
+    compute_seconds: float
+    comm_seconds: float
+    total_seconds: float
+    speedup: float
+    efficiency: float
+
+    @property
+    def comm_fraction(self) -> float:
+        return self.comm_seconds / self.total_seconds if self.total_seconds else 0.0
+
+
+def predicted_makespan(
+    metrics: SchemeMetrics,
+    element_size: int,
+    nodes: int,
+    machine: MachineModel = MachineModel(),
+) -> tuple[float, float]:
+    """(compute_seconds, comm_seconds) of one scheme run on ``nodes``.
+
+    Compute parallelizes over all slots but is floored by the largest
+    indivisible task; communication is the scheme's Table-1 volume spread
+    over per-node links.
+    """
+    if nodes < 1:
+        raise ValueError(f"nodes must be >= 1, got {nodes}")
+    if element_size < 1:
+        raise ValueError(f"element_size must be >= 1, got {element_size}")
+    total_evals = metrics.evaluations_per_task * metrics.num_tasks
+    slots = nodes * machine.slots_per_node
+    per_task_floor = metrics.evaluations_per_task * machine.eval_seconds
+    compute = max(total_evals * machine.eval_seconds / slots, per_task_floor)
+    comm_bytes = metrics.communication_bytes(element_size)
+    comm = comm_bytes / (nodes * machine.bandwidth)
+    return compute, comm
+
+
+def speedup_curve(
+    metrics: SchemeMetrics,
+    element_size: int,
+    node_counts: Sequence[int],
+    machine: MachineModel = MachineModel(),
+) -> list[SpeedupPoint]:
+    """Model S(n) over the given cluster sizes (baseline: 1 node)."""
+    if not node_counts:
+        raise ValueError("need at least one node count")
+    base_compute, base_comm = predicted_makespan(metrics, element_size, 1, machine)
+    baseline = base_compute + base_comm
+    points = []
+    for nodes in node_counts:
+        compute, comm = predicted_makespan(metrics, element_size, nodes, machine)
+        total = compute + comm
+        speedup = baseline / total if total else float("inf")
+        points.append(
+            SpeedupPoint(
+                nodes=nodes,
+                compute_seconds=compute,
+                comm_seconds=comm,
+                total_seconds=total,
+                speedup=speedup,
+                efficiency=speedup / nodes,
+            )
+        )
+    return points
+
+
+def scalability_knee(
+    metrics: SchemeMetrics,
+    element_size: int,
+    machine: MachineModel = MachineModel(),
+    *,
+    max_nodes: int = 4096,
+) -> int:
+    """Smallest n where adding a node improves total time by < 5 %.
+
+    Past the knee the per-task floor (or the task count itself) caps the
+    useful parallelism — the quantitative form of the paper's "p ≥ v > n"
+    requirement: schemes with more tasks keep scaling longer.
+    """
+    previous = None
+    for nodes in range(1, max_nodes + 1):
+        compute, comm = predicted_makespan(metrics, element_size, nodes, machine)
+        total = compute + comm
+        if previous is not None and previous - total < 0.05 * previous:
+            return nodes - 1
+        previous = total
+    return max_nodes
+
+
+def max_useful_nodes(metrics: SchemeMetrics, slots_per_node: int = 2) -> int:
+    """Nodes beyond which slots outnumber tasks (guaranteed idle slots)."""
+    if slots_per_node < 1:
+        raise ValueError(f"slots_per_node must be >= 1, got {slots_per_node}")
+    return max(1, -(-metrics.num_tasks // slots_per_node))

@@ -1,0 +1,61 @@
+"""Combinatorial designs substrate: primes, finite fields, projective planes.
+
+This subpackage supplies everything the design distribution scheme
+(paper §5.3) needs: prime/prime-power machinery to pick the plane order,
+two independent projective-plane constructions, and verifiers for the
+``(v, k, 1)``-design property that guarantees exactly-once pair coverage.
+"""
+
+from .bibd import (
+    DesignCheck,
+    DesignStats,
+    design_stats,
+    pair_coverage,
+    truncate_design,
+    verify_design,
+)
+from .difference_sets import (
+    cyclic_plane,
+    find_primitive_element,
+    singer_difference_set,
+    verify_difference_set,
+)
+from .gf import GF, find_irreducible, is_irreducible
+from .primes import (
+    is_prime,
+    is_prime_power,
+    next_prime,
+    next_prime_power,
+    plane_order_for,
+    plane_size,
+    prime_power_decompose,
+    primes_up_to,
+)
+from .projective import gf_plane, lee_plane, projective_plane
+
+__all__ = [
+    "DesignCheck",
+    "DesignStats",
+    "GF",
+    "cyclic_plane",
+    "design_stats",
+    "find_irreducible",
+    "find_primitive_element",
+    "gf_plane",
+    "is_irreducible",
+    "is_prime",
+    "is_prime_power",
+    "lee_plane",
+    "next_prime",
+    "next_prime_power",
+    "pair_coverage",
+    "plane_order_for",
+    "plane_size",
+    "prime_power_decompose",
+    "primes_up_to",
+    "projective_plane",
+    "singer_difference_set",
+    "truncate_design",
+    "verify_design",
+    "verify_difference_set",
+]

@@ -1,0 +1,138 @@
+"""Verification and manipulation of block designs.
+
+The design scheme's correctness rests on the defining property of a
+``(v, k, 1)``-design: *every 2-element subset of the point set lies in
+exactly one block* (paper Definition 1).  This module provides exhaustive
+verifiers for that property, the truncation operation the paper uses when
+``v < q²+q+1`` ("design-like" collections, §5.3), and summary statistics
+(block-size profile, per-point replication) used by the evaluation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .._util import triangle_count
+
+Block = Sequence[int]
+
+
+@dataclass(frozen=True)
+class DesignCheck:
+    """Outcome of a design verification.
+
+    ``ok`` is True iff every pair is covered exactly ``lam`` times and every
+    block has exactly ``k`` points (when ``k`` was specified).  ``violations``
+    holds up to ``max_violations`` human-readable findings for diagnostics.
+    """
+
+    ok: bool
+    violations: tuple[str, ...]
+
+
+def pair_coverage(blocks: Iterable[Block]) -> Counter:
+    """Count, for every unordered point pair, how many blocks contain it."""
+    cover: Counter = Counter()
+    for block in blocks:
+        members = sorted(set(block))
+        for idx, a in enumerate(members):
+            for b in members[idx + 1 :]:
+                cover[(a, b)] += 1
+    return cover
+
+
+def verify_design(
+    blocks: Sequence[Block],
+    v: int,
+    k: int | None = None,
+    lam: int = 1,
+    *,
+    max_violations: int = 10,
+) -> DesignCheck:
+    """Check that ``blocks`` form a ``(v, k, lam)``-design over points 1..v.
+
+    ``k=None`` skips the uniform-block-size requirement (the paper's
+    truncated "design-like" structures intentionally violate it).
+    """
+    violations: list[str] = []
+
+    def add(msg: str) -> None:
+        if len(violations) < max_violations:
+            violations.append(msg)
+
+    point_range = range(1, v + 1)
+    valid_points = set(point_range)
+    for i, block in enumerate(blocks):
+        members = set(block)
+        if len(members) != len(list(block)):
+            add(f"block {i} has duplicate points: {sorted(block)}")
+        if not members <= valid_points:
+            add(f"block {i} has out-of-range points: {sorted(members - valid_points)}")
+        if k is not None and len(members) != k:
+            add(f"block {i} has {len(members)} points, expected k={k}")
+
+    cover = pair_coverage(blocks)
+    expected_pairs = triangle_count(v)
+    if lam > 0 and len(cover) != expected_pairs:
+        missing = expected_pairs - len(cover)
+        add(f"{missing} point pairs are covered by no block")
+    for pair, count in cover.items():
+        if count != lam:
+            add(f"pair {pair} covered {count} times, expected {lam}")
+            if len(violations) >= max_violations:
+                break
+
+    return DesignCheck(ok=not violations, violations=tuple(violations))
+
+
+def truncate_design(blocks: Sequence[Block], v: int, *, min_block: int = 2) -> list[list[int]]:
+    """Restrict a design on points ``1..q̂`` to the first ``v`` points.
+
+    This is the paper's relaxation for ``v < q̂ = q²+q+1``: points beyond v
+    "do not exist", so they are removed from every block, and blocks left
+    with fewer than ``min_block`` points are dropped (a singleton block
+    induces no pairs, so dropping it preserves exactly-once coverage).
+    """
+    out: list[list[int]] = []
+    for block in blocks:
+        kept = [point for point in block if point <= v]
+        if len(kept) >= min_block:
+            out.append(kept)
+    return out
+
+
+@dataclass(frozen=True)
+class DesignStats:
+    """Structural statistics of a (possibly truncated) design."""
+
+    num_blocks: int
+    min_block_size: int
+    max_block_size: int
+    mean_block_size: float
+    #: replication factor r_i per point: how many blocks contain point i
+    min_replication: int
+    max_replication: int
+    mean_replication: float
+
+
+def design_stats(blocks: Sequence[Block], v: int) -> DesignStats:
+    """Block-size and replication profile over points 1..v."""
+    if not blocks:
+        raise ValueError("design has no blocks")
+    sizes = [len(set(b)) for b in blocks]
+    replication: Counter = Counter()
+    for block in blocks:
+        for point in set(block):
+            replication[point] += 1
+    rep_values = [replication.get(point, 0) for point in range(1, v + 1)]
+    return DesignStats(
+        num_blocks=len(blocks),
+        min_block_size=min(sizes),
+        max_block_size=max(sizes),
+        mean_block_size=sum(sizes) / len(sizes),
+        min_replication=min(rep_values),
+        max_replication=max(rep_values),
+        mean_replication=sum(rep_values) / len(rep_values),
+    )

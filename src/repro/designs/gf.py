@@ -1,0 +1,318 @@
+"""Finite fields GF(p^k) for prime-power projective planes.
+
+The paper's Theorem 2 gives a fast incidence construction that is valid for
+*prime* plane orders.  Theorem 1 however promises a plane for every prime
+*power* order q = p^k, via the classical construction over the field GF(q).
+This module implements exactly enough finite-field machinery for that:
+
+- arithmetic in GF(p) (k = 1) directly mod p,
+- arithmetic in GF(p^k) as Z_p[x] modulo a monic irreducible polynomial of
+  degree k (found by exhaustive search — plane orders are small),
+- element encoding as integers in ``[0, q)`` (base-p digit vectors), which
+  keeps elements hashable and cheap to store in incidence structures.
+
+The API is deliberately minimal and allocation-free on the hot paths: all
+element operations take and return plain ``int`` codes.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator, Sequence
+
+from .primes import is_prime, prime_power_decompose
+
+Poly = tuple[int, ...]  # little-endian coefficients over Z_p, no trailing zeros
+
+
+def _poly_trim(coeffs: Sequence[int]) -> Poly:
+    """Drop trailing zero coefficients; the zero polynomial is ``()``."""
+    end = len(coeffs)
+    while end > 0 and coeffs[end - 1] == 0:
+        end -= 1
+    return tuple(coeffs[:end])
+
+
+def poly_add(a: Poly, b: Poly, p: int) -> Poly:
+    """Sum of two polynomials over Z_p."""
+    n = max(len(a), len(b))
+    out = [0] * n
+    for i, c in enumerate(a):
+        out[i] = c
+    for i, c in enumerate(b):
+        out[i] = (out[i] + c) % p
+    return _poly_trim(out)
+
+
+def poly_sub(a: Poly, b: Poly, p: int) -> Poly:
+    """Difference of two polynomials over Z_p."""
+    n = max(len(a), len(b))
+    out = [0] * n
+    for i, c in enumerate(a):
+        out[i] = c
+    for i, c in enumerate(b):
+        out[i] = (out[i] - c) % p
+    return _poly_trim(out)
+
+
+def poly_mul(a: Poly, b: Poly, p: int) -> Poly:
+    """Product of two polynomials over Z_p (schoolbook; degrees are tiny)."""
+    if not a or not b:
+        return ()
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ca in enumerate(a):
+        if ca == 0:
+            continue
+        for j, cb in enumerate(b):
+            out[i + j] = (out[i + j] + ca * cb) % p
+    return _poly_trim(out)
+
+
+def poly_divmod(a: Poly, b: Poly, p: int) -> tuple[Poly, Poly]:
+    """Quotient and remainder of ``a / b`` over Z_p; b must be non-zero."""
+    if not b:
+        raise ZeroDivisionError("polynomial division by zero")
+    rem = list(a)
+    deg_b = len(b) - 1
+    lead_inv = pow(b[-1], p - 2, p) if p > 2 else b[-1]  # b[-1]^{-1} mod p
+    quot = [0] * max(0, len(a) - deg_b)
+    while len(rem) - 1 >= deg_b and any(rem):
+        rem_trimmed = _poly_trim(rem)
+        if len(rem_trimmed) - 1 < deg_b:
+            break
+        rem = list(rem_trimmed)
+        shift = len(rem) - 1 - deg_b
+        factor = rem[-1] * lead_inv % p
+        quot[shift] = factor
+        for i, cb in enumerate(b):
+            rem[shift + i] = (rem[shift + i] - factor * cb) % p
+    return _poly_trim(quot), _poly_trim(rem)
+
+
+def poly_mod(a: Poly, m: Poly, p: int) -> Poly:
+    """Remainder of ``a`` modulo ``m`` over Z_p."""
+    return poly_divmod(a, m, p)[1]
+
+
+def poly_pow_mod(base: Poly, exp: int, m: Poly, p: int) -> Poly:
+    """``base**exp mod m`` over Z_p by square-and-multiply."""
+    result: Poly = (1,)
+    base = poly_mod(base, m, p)
+    while exp > 0:
+        if exp & 1:
+            result = poly_mod(poly_mul(result, base, p), m, p)
+        base = poly_mod(poly_mul(base, base, p), m, p)
+        exp >>= 1
+    return result
+
+
+def poly_gcd(a: Poly, b: Poly, p: int) -> Poly:
+    """Monic gcd of two polynomials over Z_p."""
+    while b:
+        a, b = b, poly_mod(a, b, p)
+    if not a:
+        return ()
+    # Normalize to monic.
+    inv = pow(a[-1], p - 2, p) if a[-1] != 1 else 1
+    return _poly_trim(tuple(c * inv % p for c in a))
+
+
+def _iter_monic_polys(degree: int, p: int) -> Iterator[Poly]:
+    """All monic polynomials of exactly ``degree`` over Z_p."""
+    total = p**degree
+    for code in range(total):
+        coeffs = []
+        c = code
+        for _ in range(degree):
+            coeffs.append(c % p)
+            c //= p
+        coeffs.append(1)  # monic leading coefficient
+        yield tuple(coeffs)
+
+
+def is_irreducible(f: Poly, p: int) -> bool:
+    """Rabin irreducibility test for a monic polynomial over Z_p.
+
+    ``f`` of degree k is irreducible iff ``x^(p^k) ≡ x (mod f)`` and for
+    every prime divisor d of k, ``gcd(x^(p^(k/d)) - x, f) = 1``.
+    """
+    k = len(f) - 1
+    if k <= 0:
+        return False
+    if k == 1:
+        return True
+    x: Poly = (0, 1)
+    # x^(p^k) mod f must equal x.
+    xq = x
+    for _ in range(k):
+        xq = poly_pow_mod(xq, p, f, p)
+    if poly_sub(xq, x, p):
+        return False
+    # For each prime divisor d of k check the gcd condition.
+    for d in _prime_divisors(k):
+        xe = x
+        for _ in range(k // d):
+            xe = poly_pow_mod(xe, p, f, p)
+        g = poly_gcd(poly_sub(xe, x, p), f, p)
+        if g != (1,):
+            return False
+    return True
+
+
+def _prime_divisors(n: int) -> list[int]:
+    """Distinct prime divisors of n (n small)."""
+    out = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            out.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1
+    if n > 1:
+        out.append(n)
+    return out
+
+
+@lru_cache(maxsize=None)
+def find_irreducible(p: int, k: int) -> Poly:
+    """Lexicographically-first monic irreducible polynomial of degree k over Z_p.
+
+    Deterministic, so GF(q) element codes are stable across runs.
+    """
+    if not is_prime(p):
+        raise ValueError(f"p must be prime, got {p}")
+    if k < 1:
+        raise ValueError(f"degree must be >= 1, got {k}")
+    if k == 1:
+        return (0, 1)  # x itself; unused for k=1 arithmetic but well-defined
+    for f in _iter_monic_polys(k, p):
+        if is_irreducible(f, p):
+            return f
+    raise RuntimeError(f"no irreducible polynomial of degree {k} over GF({p})")
+
+
+class GF:
+    """The finite field GF(p^k) with elements encoded as ints in [0, p^k).
+
+    An element code is the base-p digit encoding of its coefficient vector:
+    code ``c`` represents the polynomial ``sum_i digit_i(c) * x^i``.  For
+    k == 1 the arithmetic collapses to plain modular arithmetic and avoids
+    the polynomial layer entirely.
+
+    >>> F = GF(4)
+    >>> F.mul(2, 3)   # x * (x+1) = x^2 + x = (x+1) + x ... in GF(4)
+    1
+    >>> F.add(2, 2)
+    0
+    """
+
+    def __init__(self, q: int):
+        decomp = prime_power_decompose(q)
+        if decomp is None:
+            raise ValueError(f"field order must be a prime power, got {q}")
+        self.q = q
+        self.p, self.k = decomp
+        self.modulus: Poly = find_irreducible(self.p, self.k) if self.k > 1 else (0, 1)
+        # Pre-built multiplication/inverse tables for small fields keep the
+        # plane construction fast; beyond the threshold fall back to direct
+        # computation per operation.
+        self._mul_table: list[int] | None = None
+        self._inv_table: list[int] | None = None
+        if self.k > 1 and q <= 256:
+            self._build_tables()
+
+    # -- encoding -----------------------------------------------------------
+    def encode(self, coeffs: Sequence[int]) -> int:
+        """Integer code of the element with the given coefficient vector."""
+        code = 0
+        for c in reversed(list(coeffs)):
+            code = code * self.p + (c % self.p)
+        return code
+
+    def decode(self, code: int) -> Poly:
+        """Coefficient vector (little-endian) of an element code."""
+        if not 0 <= code < self.q:
+            raise ValueError(f"element code {code} out of range [0, {self.q})")
+        coeffs = []
+        while code:
+            coeffs.append(code % self.p)
+            code //= self.p
+        return _poly_trim(coeffs)
+
+    def elements(self) -> range:
+        """All element codes, 0 .. q-1."""
+        return range(self.q)
+
+    # -- arithmetic ----------------------------------------------------------
+    def add(self, a: int, b: int) -> int:
+        if self.k == 1:
+            return (a + b) % self.p
+        return self.encode(poly_add(self.decode(a), self.decode(b), self.p))
+
+    def sub(self, a: int, b: int) -> int:
+        if self.k == 1:
+            return (a - b) % self.p
+        return self.encode(poly_sub(self.decode(a), self.decode(b), self.p))
+
+    def neg(self, a: int) -> int:
+        return self.sub(0, a)
+
+    def mul(self, a: int, b: int) -> int:
+        if self.k == 1:
+            return a * b % self.p
+        if self._mul_table is not None:
+            return self._mul_table[a * self.q + b]
+        prod = poly_mul(self.decode(a), self.decode(b), self.p)
+        return self.encode(poly_mod(prod, self.modulus, self.p))
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises ZeroDivisionError for 0."""
+        if a == 0:
+            raise ZeroDivisionError("inverse of zero in GF")
+        if self.k == 1:
+            return pow(a, self.p - 2, self.p)
+        if self._inv_table is not None:
+            return self._inv_table[a]
+        # a^(q-2) = a^{-1} in GF(q)*.
+        return self.pow(a, self.q - 2)
+
+    def div(self, a: int, b: int) -> int:
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, e: int) -> int:
+        """a**e with e >= 0 (e < 0 routes through inv)."""
+        if e < 0:
+            return self.pow(self.inv(a), -e)
+        result = 1
+        base = a
+        while e:
+            if e & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            e >>= 1
+        return result
+
+    # -- internals ------------------------------------------------------------
+    def _build_tables(self) -> None:
+        q = self.q
+        table = [0] * (q * q)
+        for a in range(q):
+            pa = self.decode(a)
+            for b in range(a, q):
+                prod = self.encode(
+                    poly_mod(poly_mul(pa, self.decode(b), self.p), self.modulus, self.p)
+                )
+                table[a * q + b] = prod
+                table[b * q + a] = prod
+        self._mul_table = table
+        inv = [0] * q
+        for a in range(1, q):
+            for b in range(1, q):
+                if table[a * q + b] == 1:
+                    inv[a] = b
+                    break
+        self._inv_table = inv
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GF({self.q})" if self.k == 1 else f"GF({self.p}^{self.k})"

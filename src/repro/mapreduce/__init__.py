@@ -1,0 +1,97 @@
+"""Local MapReduce runtime: the substrate under the pairwise algorithms.
+
+Reimplements the Hadoop-0.20 contract the paper targets — mappers,
+sort/shuffle with deterministic partitioning, reducers, combiners,
+distributed cache, counters, job chaining — with serial and multiprocess
+executors, plus a block-placement DFS model for locality accounting.
+"""
+
+from .counters import (
+    FRAMEWORK_GROUP,
+    MAP_INPUT_RECORDS,
+    MAP_OUTPUT_BYTES,
+    MAP_OUTPUT_RECORDS,
+    REDUCE_INPUT_GROUPS,
+    REDUCE_INPUT_RECORDS,
+    REDUCE_OUTPUT_RECORDS,
+    SHUFFLE_BYTES,
+    SHUFFLE_RECORDS,
+    Counters,
+)
+from .extsort import ExternalSorter, sorted_groups
+from .partitioners import RangePartitioner, is_globally_sorted
+from .hdfs import DistributedFileSystem
+from .job import (
+    Context,
+    IdentityMapper,
+    IdentityReducer,
+    Job,
+    JobResult,
+    Mapper,
+    Reducer,
+    TaskFailedError,
+    records_from,
+)
+from .pipeline import Pipeline, PipelineResult
+from .runtime import Engine, MultiprocessEngine, SerialEngine
+from .serialization import PickleCodec, SizedPayload, record_size
+from .shuffle import hash_partition, sort_and_group, stable_hash
+from .streaming import StreamingMapper, StreamingProtocolError, StreamingReducer
+from .splits import Split, assign_round_robin, split_by_count, split_by_size
+from .textio import (
+    read_output_dir,
+    read_records,
+    run_job_on_files,
+    write_partitioned,
+    write_records,
+)
+
+__all__ = [
+    "Context",
+    "Counters",
+    "DistributedFileSystem",
+    "Engine",
+    "ExternalSorter",
+    "FRAMEWORK_GROUP",
+    "IdentityMapper",
+    "IdentityReducer",
+    "Job",
+    "JobResult",
+    "MAP_INPUT_RECORDS",
+    "MAP_OUTPUT_BYTES",
+    "MAP_OUTPUT_RECORDS",
+    "Mapper",
+    "MultiprocessEngine",
+    "PickleCodec",
+    "Pipeline",
+    "PipelineResult",
+    "REDUCE_INPUT_GROUPS",
+    "REDUCE_INPUT_RECORDS",
+    "REDUCE_OUTPUT_RECORDS",
+    "RangePartitioner",
+    "Reducer",
+    "SHUFFLE_BYTES",
+    "SHUFFLE_RECORDS",
+    "SerialEngine",
+    "SizedPayload",
+    "Split",
+    "StreamingMapper",
+    "StreamingProtocolError",
+    "StreamingReducer",
+    "TaskFailedError",
+    "assign_round_robin",
+    "hash_partition",
+    "is_globally_sorted",
+    "read_output_dir",
+    "read_records",
+    "record_size",
+    "records_from",
+    "run_job_on_files",
+    "sort_and_group",
+    "sorted_groups",
+    "split_by_count",
+    "split_by_size",
+    "stable_hash",
+    "write_partitioned",
+    "write_records",
+]

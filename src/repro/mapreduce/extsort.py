@@ -1,0 +1,147 @@
+"""External merge sort: the shuffle's answer to partitions beyond memory.
+
+Hadoop's reducers merge map outputs that do not fit in RAM by spilling
+sorted runs to disk and k-way merging them.  The in-memory engine here
+usually doesn't need that, but the paper's whole premise is datasets that
+exceed single-machine memory — so the substrate provides the real
+mechanism:
+
+- :class:`ExternalSorter` — accept records, keep at most
+  ``memory_budget`` of them buffered, spill sorted runs to temp files
+  (pickle framing), then stream a globally sorted merge via
+  ``heapq.merge``;
+- :func:`sorted_groups` — the reducer-facing wrapper yielding
+  ``(key, value-iterator)`` groups from a sorter, drop-in compatible
+  with :func:`repro.mapreduce.shuffle.sort_and_group`.
+
+Spill accounting (runs written, records spilled) is exposed for tests
+and for the simulator's I/O model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import pickle
+import tempfile
+from itertools import groupby
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from .serialization import record_size
+from .shuffle import stable_hash
+
+KeyValue = tuple[Any, Any]
+
+
+class ExternalSorter:
+    """Sort arbitrarily many records under a byte budget.
+
+    Usage::
+
+        sorter = ExternalSorter(memory_budget=1_000_000)
+        for record in records:
+            sorter.add(*record)
+        for key, value in sorter.sorted_records():
+            ...
+
+    ``sort_key`` maps keys to sortable proxies (same contract as the
+    in-memory shuffle); ties between distinct keys break on the stable
+    hash so output order is deterministic.  A sorter is single-use:
+    adding after iteration starts raises.
+    """
+
+    def __init__(
+        self,
+        memory_budget: int = 64_000_000,
+        *,
+        sort_key: Callable[[Any], Any] | None = None,
+        spill_dir: Path | str | None = None,
+    ):
+        if memory_budget < 1:
+            raise ValueError(f"memory_budget must be >= 1, got {memory_budget}")
+        self.memory_budget = memory_budget
+        self.sort_key = sort_key
+        self._buffer: list[KeyValue] = []
+        self._buffered_bytes = 0
+        self._runs: list[Path] = []
+        self._tempdir = tempfile.TemporaryDirectory(prefix="repro-extsort-")
+        self._spill_dir = Path(spill_dir) if spill_dir else Path(self._tempdir.name)
+        self._spill_dir.mkdir(parents=True, exist_ok=True)
+        self._sealed = False
+        #: observability: records that went through a disk run
+        self.spilled_records = 0
+
+    # -- ingest ----------------------------------------------------------------
+    def add(self, key: Any, value: Any) -> None:
+        if self._sealed:
+            raise RuntimeError("sorter already iterated; create a new one")
+        self._buffer.append((key, value))
+        self._buffered_bytes += record_size(key, value)
+        if self._buffered_bytes >= self.memory_budget:
+            self._spill()
+
+    def add_all(self, records: Iterator[KeyValue] | list[KeyValue]) -> None:
+        for key, value in records:
+            self.add(key, value)
+
+    # -- spill machinery ----------------------------------------------------------
+    def _ordering(self, record: KeyValue):
+        key = record[0]
+        if self.sort_key is None:
+            return (key,)
+        return (self.sort_key(key), stable_hash(key))
+
+    def _spill(self) -> None:
+        if not self._buffer:
+            return
+        self._buffer.sort(key=self._ordering)
+        run_path = self._spill_dir / f"run-{len(self._runs):05d}.pkl"
+        with run_path.open("wb") as handle:
+            for record in self._buffer:
+                pickle.dump(record, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        self._runs.append(run_path)
+        self.spilled_records += len(self._buffer)
+        self._buffer = []
+        self._buffered_bytes = 0
+
+    @staticmethod
+    def _read_run(path: Path) -> Iterator[KeyValue]:
+        with path.open("rb") as handle:
+            while True:
+                try:
+                    yield pickle.load(handle)
+                except EOFError:
+                    return
+
+    # -- output ---------------------------------------------------------------
+    @property
+    def num_runs(self) -> int:
+        return len(self._runs)
+
+    def sorted_records(self) -> Iterator[KeyValue]:
+        """Stream all records in key order (merging spills and buffer)."""
+        if self._sealed:
+            raise RuntimeError("sorter already iterated; create a new one")
+        self._sealed = True
+        self._buffer.sort(key=self._ordering)
+        streams: list[Iterator[KeyValue]] = [iter(self._buffer)]
+        streams.extend(self._read_run(path) for path in self._runs)
+        yield from heapq.merge(*streams, key=self._ordering)
+
+    def close(self) -> None:
+        """Release spill files early (also happens on GC)."""
+        self._tempdir.cleanup()
+
+    def __enter__(self) -> "ExternalSorter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def sorted_groups(
+    sorter: ExternalSorter,
+) -> Iterator[tuple[Any, Iterator[Any]]]:
+    """Group a sorter's output by key — the external sort_and_group."""
+    for key, group in groupby(sorter.sorted_records(), key=lambda kv: kv[0]):
+        yield key, (value for _key, value in group)

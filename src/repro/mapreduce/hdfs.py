@@ -1,0 +1,161 @@
+"""A block-placement model of a distributed filesystem (HDFS-style).
+
+The execution model (§3) stores the dataset "as files, distributed on the
+participating nodes", and the paper's communication-cost metric assumes
+"most of the input data can be read locally ... network costs are
+dominated by the costs to communicate intermediate data".  The cluster
+simulator needs exactly that distinction — which reads are local and which
+cross the network — so this module models files as sequences of fixed-size
+blocks placed (with replication) on nodes.
+
+It is an accounting model, not a byte store: block contents are sizes, not
+data.  (Real record movement happens in :mod:`repro.mapreduce.runtime`.)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .._util import MB, ceil_div
+
+
+@dataclass(frozen=True)
+class BlockLocation:
+    """One stored replica of one block."""
+
+    file: str
+    block_index: int
+    node: int
+    size_bytes: int
+
+
+@dataclass
+class FileEntry:
+    """Metadata of one DFS file."""
+
+    name: str
+    size_bytes: int
+    block_size: int
+    #: replica node lists, one per block
+    placements: list[list[int]] = field(default_factory=list)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.placements)
+
+
+class DistributedFileSystem:
+    """Block placement with round-robin-plus-random replication.
+
+    Placement policy: the primary replica of block ``i`` of the j-th file
+    rotates over nodes (spreading primaries), and the remaining replicas go
+    to distinct other nodes chosen by a seeded RNG — deterministic for a
+    given construction order and seed, like a freshly loaded HDFS cluster.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        *,
+        block_size: int = 64 * MB,
+        replication: int = 3,
+        seed: int = 0,
+    ):
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        self.num_nodes = num_nodes
+        self.block_size = block_size
+        self.replication = min(replication, num_nodes)
+        self._rng = random.Random(seed)
+        self._files: dict[str, FileEntry] = {}
+        self._next_primary = 0
+
+    def create(self, name: str, size_bytes: int) -> FileEntry:
+        """Create a file of the given size and place its blocks."""
+        if name in self._files:
+            raise FileExistsError(f"DFS file {name!r} already exists")
+        if size_bytes < 0:
+            raise ValueError(f"size must be non-negative, got {size_bytes}")
+        num_blocks = max(1, ceil_div(size_bytes, self.block_size)) if size_bytes else 0
+        entry = FileEntry(name=name, size_bytes=size_bytes, block_size=self.block_size)
+        for _ in range(num_blocks):
+            primary = self._next_primary % self.num_nodes
+            self._next_primary += 1
+            replicas = [primary]
+            others = [n for n in range(self.num_nodes) if n != primary]
+            self._rng.shuffle(others)
+            replicas.extend(others[: self.replication - 1])
+            entry.placements.append(replicas)
+        self._files[name] = entry
+        return entry
+
+    def delete(self, name: str) -> None:
+        """Remove a file (freeing its accounted storage)."""
+        if name not in self._files:
+            raise FileNotFoundError(f"DFS file {name!r} does not exist")
+        del self._files[name]
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def entry(self, name: str) -> FileEntry:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundError(f"DFS file {name!r} does not exist") from None
+
+    def block_size_of(self, name: str, block_index: int) -> int:
+        """Actual byte size of one block (the last block may be short)."""
+        entry = self.entry(name)
+        if not 0 <= block_index < entry.num_blocks:
+            raise IndexError(f"block {block_index} out of range for {name!r}")
+        full_blocks = entry.size_bytes // self.block_size
+        if block_index < full_blocks:
+            return self.block_size
+        return entry.size_bytes - full_blocks * self.block_size
+
+    def locations(self, name: str) -> list[BlockLocation]:
+        """All replica locations of a file's blocks."""
+        entry = self.entry(name)
+        out = []
+        for index, nodes in enumerate(entry.placements):
+            size = self.block_size_of(name, index)
+            for node in nodes:
+                out.append(BlockLocation(name, index, node, size))
+        return out
+
+    def read_cost(self, name: str, reader_node: int) -> tuple[int, int]:
+        """(local_bytes, remote_bytes) for node ``reader_node`` reading a file.
+
+        A block is read locally when the reader holds a replica — this is
+        the quantity behind "most of the input data can be read locally".
+        """
+        entry = self.entry(name)
+        local = remote = 0
+        for index, nodes in enumerate(entry.placements):
+            size = self.block_size_of(name, index)
+            if reader_node in nodes:
+                local += size
+            else:
+                remote += size
+        return local, remote
+
+    def used_bytes(self, node: int | None = None) -> int:
+        """Total stored bytes (all replicas), optionally for one node."""
+        total = 0
+        for entry in self._files.values():
+            for index, nodes in enumerate(entry.placements):
+                size = self.block_size_of(entry.name, index)
+                if node is None:
+                    total += size * len(nodes)
+                elif node in nodes:
+                    total += size
+        return total
+
+    def files(self) -> list[str]:
+        return sorted(self._files)

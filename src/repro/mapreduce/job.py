@@ -1,0 +1,186 @@
+"""Job specification: mappers, reducers, combiners, and their context.
+
+The programming contract mirrors Hadoop 0.20's (the framework version the
+paper used):
+
+- a **Mapper** sees input records one at a time and emits key/value pairs;
+- the framework **partitions** map output by key, **sorts** each partition,
+  and **groups** equal keys;
+- a **Reducer** sees each key once with the iterator of all its values and
+  emits output records;
+- an optional **Combiner** (reducer-shaped) runs on map-side output to
+  shrink shuffle volume;
+- tasks communicate with the framework only through their :class:`Context`
+  (emit, counters, distributed-cache lookup, job configuration) — there is
+  no other channel, enforcing the paper's execution model (§3: tasks
+  compute on local data, no online communication).
+
+Mapper/reducer *classes* (not instances) are attached to the :class:`Job`
+so the multiprocess engine can instantiate them inside worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from .counters import Counters
+
+KeyValue = tuple[Any, Any]
+
+
+class Context:
+    """Per-task facade: collect emitted records, counters, cache, config."""
+
+    def __init__(
+        self,
+        counters: Counters,
+        cache: dict[str, Any] | None = None,
+        config: dict[str, Any] | None = None,
+    ):
+        self.counters = counters
+        self._cache = cache or {}
+        self.config = config or {}
+        self._emitted: list[KeyValue] = []
+
+    def emit(self, key: Any, value: Any) -> None:
+        """Emit one key/value record to the next phase."""
+        self._emitted.append((key, value))
+
+    def cache_file(self, name: str) -> Any:
+        """Fetch a distributed-cache entry by name (Hadoop's DistributedCache).
+
+        Raises KeyError with the available names when absent — a missing
+        cache file is a deployment bug, not a condition to silently skip.
+        """
+        try:
+            return self._cache[name]
+        except KeyError:
+            raise KeyError(
+                f"cache file {name!r} not attached to job; "
+                f"available: {sorted(self._cache)}"
+            ) from None
+
+    def drain(self) -> list[KeyValue]:
+        """Take and clear the emitted records (framework-internal)."""
+        out = self._emitted
+        self._emitted = []
+        return out
+
+
+class Mapper:
+    """Base mapper: override :meth:`map`; setup/cleanup are optional hooks."""
+
+    def setup(self, context: Context) -> None:  # noqa: B027 - optional hook
+        """Called once per task before the first record."""
+
+    def map(self, key: Any, value: Any, context: Context) -> None:
+        """Process one input record; default is the identity mapper."""
+        context.emit(key, value)
+
+    def cleanup(self, context: Context) -> None:  # noqa: B027 - optional hook
+        """Called once per task after the last record."""
+
+
+class Reducer:
+    """Base reducer: override :meth:`reduce`."""
+
+    def setup(self, context: Context) -> None:  # noqa: B027 - optional hook
+        """Called once per task before the first group."""
+
+    def reduce(self, key: Any, values: Iterator[Any], context: Context) -> None:
+        """Process one key group; default re-emits every value."""
+        for value in values:
+            context.emit(key, value)
+
+    def cleanup(self, context: Context) -> None:  # noqa: B027 - optional hook
+        """Called once per task after the last group."""
+
+
+class IdentityMapper(Mapper):
+    """Pass-through mapper (Algorithm 2's map does nothing)."""
+
+
+class IdentityReducer(Reducer):
+    """Pass-through reducer."""
+
+
+@dataclass
+class Job:
+    """Declarative MR job description.
+
+    ``mapper``/``reducer``/``combiner`` are zero-argument factories
+    (typically the class itself); the engine instantiates one per task.
+    ``num_reducers`` controls reduce-side parallelism; ``partitioner``
+    (key, num_partitions) → partition overrides hash partitioning;
+    ``sort_key`` orders keys within a partition (must make keys comparable);
+    ``cache`` is the distributed cache payload, ``config`` arbitrary
+    job-wide parameters readable by every task.  ``max_attempts`` is
+    Hadoop's task-retry knob: a task raising an exception is re-executed
+    from scratch (fresh mapper/reducer instance, fresh context) up to
+    that many times before the job fails.
+    """
+
+    name: str
+    mapper: Callable[[], Mapper] = IdentityMapper
+    reducer: Callable[[], Reducer] | None = IdentityReducer
+    combiner: Callable[[], Reducer] | None = None
+    num_reducers: int = 1
+    partitioner: Callable[[Any, int], int] | None = None
+    sort_key: Callable[[Any], Any] | None = None
+    #: secondary sort: order each key group's values before reduce sees
+    #: them (Hadoop's composite-key secondary sort, without the plumbing)
+    value_sort_key: Callable[[Any], Any] | None = None
+    cache: dict[str, Any] = field(default_factory=dict)
+    config: dict[str, Any] = field(default_factory=dict)
+    max_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_reducers < 0:
+            raise ValueError(f"num_reducers must be >= 0, got {self.num_reducers}")
+        if self.num_reducers == 0 and self.reducer is not None:
+            raise ValueError("num_reducers=0 (map-only) requires reducer=None")
+        if self.reducer is None and self.combiner is not None:
+            raise ValueError("a combiner without a reducer is meaningless")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+
+class TaskFailedError(RuntimeError):
+    """A task exhausted its attempts; wraps the last failure."""
+
+    def __init__(self, task_kind: str, attempts: int, cause: BaseException):
+        super().__init__(
+            f"{task_kind} task failed after {attempts} attempt(s): {cause!r}"
+        )
+        self.task_kind = task_kind
+        self.attempts = attempts
+        self.cause = cause
+
+
+@dataclass
+class JobResult:
+    """Output of one job run: records, aggregated counters, task counts."""
+
+    records: list[KeyValue]
+    counters: Counters
+    num_map_tasks: int
+    num_reduce_tasks: int
+
+    def values(self) -> list[Any]:
+        """Just the values of the output records."""
+        return [value for _key, value in self.records]
+
+    def as_dict(self) -> dict[Any, Any]:
+        """Output records as a key→value dict (keys must be unique)."""
+        out: dict[Any, Any] = {}
+        for key, value in self.records:
+            if key in out:
+                raise ValueError(f"duplicate output key {key!r}")
+            out[key] = value
+        return out
+
+
+def records_from(values: Iterable[Any]) -> list[KeyValue]:
+    """Wrap plain values into (index, value) input records."""
+    return [(index, value) for index, value in enumerate(values)]

@@ -1,0 +1,100 @@
+"""Partitioners beyond hashing: total-order (range) partitioning.
+
+Hash partitioning balances load but scatters key ranges across reducers;
+Hadoop's TotalOrderPartitioner instead samples the key space, picks
+``n − 1`` split points, and routes keys by range — so concatenating the
+reducer outputs yields a globally sorted dataset.  Useful here for
+producing ordered element files between chained jobs (§3's "preceding
+job may have written the dataset to files").
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Any, Callable, Sequence
+
+
+class RangePartitioner:
+    """Route keys to partitions by comparing against sorted split points.
+
+    Built either directly from ``splits`` (length n−1, ascending) or by
+    :meth:`from_sample`.  Keys equal to a split point go to the right
+    partition (bisect_right), matching Hadoop's behaviour.
+    """
+
+    def __init__(self, splits: Sequence[Any], *, key: Callable[[Any], Any] | None = None):
+        self.key = key or (lambda value: value)
+        proxies = [self.key(split) for split in splits]
+        if any(proxies[i] > proxies[i + 1] for i in range(len(proxies) - 1)):
+            raise ValueError("split points must be ascending")
+        self._splits = list(proxies)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._splits) + 1
+
+    def __call__(self, record_key: Any, num_partitions: int) -> int:
+        if num_partitions != self.num_partitions:
+            raise ValueError(
+                f"partitioner built for {self.num_partitions} partitions, "
+                f"job asked for {num_partitions}"
+            )
+        return bisect.bisect_right(self._splits, self.key(record_key))
+
+    @classmethod
+    def from_sample(
+        cls,
+        keys: Sequence[Any],
+        num_partitions: int,
+        *,
+        sample_size: int = 1000,
+        seed: int = 0,
+        key: Callable[[Any], Any] | None = None,
+    ) -> "RangePartitioner":
+        """Pick split points from a random sample of the key space.
+
+        Samples ``min(sample_size, len(keys))`` keys, sorts them, and
+        takes the n−1 evenly spaced quantiles — Hadoop's InputSampler.
+        """
+        if num_partitions < 1:
+            raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+        if not keys:
+            raise ValueError("cannot sample an empty key set")
+        extract = key or (lambda value: value)
+        rng = random.Random(seed)
+        population = list(keys)
+        if len(population) > sample_size:
+            sample = rng.sample(population, sample_size)
+        else:
+            sample = population
+        ordered = sorted(sample, key=extract)
+        splits = []
+        for index in range(1, num_partitions):
+            position = index * len(ordered) // num_partitions
+            splits.append(ordered[min(position, len(ordered) - 1)])
+        # Dedupe equal split points (skewed samples) while keeping order.
+        unique = []
+        for split in splits:
+            if not unique or extract(split) > extract(unique[-1]):
+                unique.append(split)
+        partitioner = cls(unique, key=key)
+        return partitioner
+
+
+def is_globally_sorted(partitions: Sequence[Sequence[Any]], *, key=None) -> bool:
+    """True iff concatenating per-partition sorted outputs is sorted.
+
+    The property a range partitioner buys: every key in partition i
+    precedes every key in partition i+1.
+    """
+    extract = key or (lambda value: value)
+    previous_max = None
+    for part in partitions:
+        if not part:
+            continue
+        values = sorted(extract(item) for item in part)
+        if previous_max is not None and values[0] < previous_max:
+            return False
+        previous_max = values[-1]
+    return True

@@ -1,0 +1,65 @@
+"""Job chaining: feed one job's output records into the next job's input.
+
+The paper's generic algorithm is "two consecutive MR jobs" (§4); real
+deployments chain more (a preprocessing job producing the element files,
+the two pairwise jobs, an application job consuming the result lists).
+:class:`Pipeline` runs such a chain on any engine and aggregates counters
+per stage and overall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .counters import Counters
+from .job import Job, JobResult, KeyValue
+from .runtime import Engine, SerialEngine
+
+
+@dataclass
+class PipelineResult:
+    """Final records plus per-stage results and merged counters."""
+
+    stages: list[JobResult] = field(default_factory=list)
+
+    @property
+    def records(self) -> list[KeyValue]:
+        if not self.stages:
+            raise ValueError("pipeline produced no stages")
+        return self.stages[-1].records
+
+    @property
+    def counters(self) -> Counters:
+        merged = Counters()
+        for stage in self.stages:
+            merged.merge(stage.counters)
+        return merged
+
+    def stage_counters(self, index: int) -> Counters:
+        return self.stages[index].counters
+
+
+class Pipeline:
+    """An ordered chain of jobs executed on a single engine."""
+
+    def __init__(self, jobs: Sequence[Job], engine: Engine | None = None):
+        if not jobs:
+            raise ValueError("pipeline needs at least one job")
+        self.jobs = list(jobs)
+        self.engine = engine or SerialEngine()
+
+    def run(
+        self,
+        input_records: Sequence[KeyValue],
+        *,
+        num_map_tasks: int | None = None,
+    ) -> PipelineResult:
+        """Run all jobs; stage i+1 consumes stage i's output records."""
+        result = PipelineResult()
+        records: Sequence[KeyValue] = input_records
+        for job in self.jobs:
+            stage = self.engine.run(job, records, num_map_tasks=num_map_tasks)
+            result.stages.append(stage)
+            records = stage.records
+        return result

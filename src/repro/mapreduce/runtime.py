@@ -1,0 +1,248 @@
+"""Execution engines: run a :class:`~repro.mapreduce.job.Job` over splits.
+
+Two engines share one code path per task:
+
+- :class:`SerialEngine` — everything in-process, deterministic, the default
+  for tests and validation;
+- :class:`MultiprocessEngine` — map and reduce tasks fan out over a
+  ``ProcessPoolExecutor``.  Mapper/reducer factories, cache payloads and
+  records must be picklable; results are bit-identical to the serial
+  engine (stable hashing + sorted shuffle make order deterministic).
+
+Both meter the framework counters (records and bytes at every stage) that
+the evaluation harness compares against the paper's Table-1 predictions.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from .counters import (
+    COMBINE_INPUT_RECORDS,
+    COMBINE_OUTPUT_RECORDS,
+    FRAMEWORK_GROUP,
+    MAP_INPUT_RECORDS,
+    MAP_OUTPUT_BYTES,
+    MAP_OUTPUT_RECORDS,
+    REDUCE_INPUT_GROUPS,
+    REDUCE_INPUT_RECORDS,
+    REDUCE_OUTPUT_RECORDS,
+    SHUFFLE_BYTES,
+    SHUFFLE_RECORDS,
+    Counters,
+)
+from .job import Context, Job, JobResult, KeyValue, TaskFailedError
+from .serialization import record_size
+from .shuffle import partition_records, sort_and_group
+from .splits import Split, split_by_count
+
+
+@dataclass
+class _MapTaskSpec:
+    """Everything one map task needs, picklable for the process pool."""
+
+    job: Job
+    records: list[KeyValue]
+    num_partitions: int
+
+
+@dataclass
+class _ReduceTaskSpec:
+    """One reduce task: its partition of the shuffled records."""
+
+    job: Job
+    records: list[KeyValue]
+
+
+def _execute_map_task(spec: _MapTaskSpec) -> tuple[list[list[KeyValue]], dict]:
+    """Run one map task with retries; returns (partitions, counters).
+
+    Module-level so the multiprocess engine can ship it to workers.
+    """
+    return _with_retries("map", spec.job, lambda: _map_attempt(spec))
+
+
+def _map_attempt(spec: _MapTaskSpec) -> tuple[list[list[KeyValue]], dict]:
+    """One attempt of a map task (fresh mapper + context)."""
+    job = spec.job
+    counters = Counters()
+    context = Context(counters, cache=job.cache, config=job.config)
+    mapper = job.mapper()
+    mapper.setup(context)
+    for key, value in spec.records:
+        counters.increment(FRAMEWORK_GROUP, MAP_INPUT_RECORDS)
+        mapper.map(key, value, context)
+    mapper.cleanup(context)
+    output = context.drain()
+    counters.increment(FRAMEWORK_GROUP, MAP_OUTPUT_RECORDS, len(output))
+    counters.increment(
+        FRAMEWORK_GROUP, MAP_OUTPUT_BYTES, sum(record_size(k, v) for k, v in output)
+    )
+
+    if job.combiner is not None:
+        counters.increment(FRAMEWORK_GROUP, COMBINE_INPUT_RECORDS, len(output))
+        combiner = job.combiner()
+        combine_context = Context(counters, cache=job.cache, config=job.config)
+        combiner.setup(combine_context)
+        for key, values in sort_and_group(output, job.sort_key):
+            combiner.reduce(key, values, combine_context)
+        combiner.cleanup(combine_context)
+        output = combine_context.drain()
+        counters.increment(FRAMEWORK_GROUP, COMBINE_OUTPUT_RECORDS, len(output))
+
+    if spec.num_partitions == 0:  # map-only job: single pseudo-partition
+        return [output], counters.as_dict()
+    partitions = partition_records(output, spec.num_partitions, job.partitioner)
+    return partitions, counters.as_dict()
+
+
+def _execute_reduce_task(spec: _ReduceTaskSpec) -> tuple[list[KeyValue], dict]:
+    """Run one reduce task (with retries) over its (unsorted) partition."""
+    return _with_retries("reduce", spec.job, lambda: _reduce_attempt(spec))
+
+
+def _with_retries(kind: str, job: Job, attempt: Callable[[], Any]) -> Any:
+    """Hadoop's attempt loop: re-run a failed task up to job.max_attempts.
+
+    Each retry gets a completely fresh attempt (new task object, new
+    context, new counters), so partial effects of a failed attempt never
+    leak — the engine only ever keeps a *successful* attempt's output.
+    Retries are recorded in the winning attempt's counters.
+    """
+    last_error: BaseException | None = None
+    for attempt_number in range(1, job.max_attempts + 1):
+        try:
+            result, counters = attempt()
+        except Exception as exc:  # noqa: BLE001 - task code may raise anything
+            last_error = exc
+            continue
+        if attempt_number > 1:
+            counters.setdefault(FRAMEWORK_GROUP, {})
+            counters[FRAMEWORK_GROUP]["task_retries"] = (
+                counters[FRAMEWORK_GROUP].get("task_retries", 0) + attempt_number - 1
+            )
+        return result, counters
+    assert last_error is not None
+    raise TaskFailedError(kind, job.max_attempts, last_error)
+
+
+def _reduce_attempt(spec: _ReduceTaskSpec) -> tuple[list[KeyValue], dict]:
+    """One attempt of a reduce task."""
+    job = spec.job
+    counters = Counters()
+    context = Context(counters, cache=job.cache, config=job.config)
+    assert job.reducer is not None  # guarded by Job validation
+    reducer = job.reducer()
+    reducer.setup(context)
+    counters.increment(FRAMEWORK_GROUP, REDUCE_INPUT_RECORDS, len(spec.records))
+    for key, values in sort_and_group(spec.records, job.sort_key):
+        counters.increment(FRAMEWORK_GROUP, REDUCE_INPUT_GROUPS)
+        if job.value_sort_key is not None:
+            values = iter(sorted(values, key=job.value_sort_key))
+        reducer.reduce(key, values, context)
+    reducer.cleanup(context)
+    output = context.drain()
+    counters.increment(FRAMEWORK_GROUP, REDUCE_OUTPUT_RECORDS, len(output))
+    return output, counters.as_dict()
+
+
+class Engine:
+    """Shared orchestration: split planning, shuffle accounting, result."""
+
+    def run(
+        self,
+        job: Job,
+        input_records: Sequence[KeyValue] | None = None,
+        *,
+        splits: list[Split] | None = None,
+        num_map_tasks: int | None = None,
+    ) -> JobResult:
+        """Execute ``job`` over ``input_records`` (or pre-built ``splits``).
+
+        ``num_map_tasks`` controls split planning when raw records are
+        given (default: one split per 5000 records, at least one).
+        """
+        if (input_records is None) == (splits is None):
+            raise ValueError("provide exactly one of input_records or splits")
+        if splits is None:
+            assert input_records is not None
+            if num_map_tasks is None:
+                num_map_tasks = max(1, len(input_records) // 5000)
+            splits = split_by_count(input_records, num_map_tasks)
+
+        num_partitions = job.num_reducers if job.reducer is not None else 0
+        map_specs = [
+            _MapTaskSpec(job=job, records=split.records, num_partitions=num_partitions)
+            for split in splits
+        ]
+        map_outputs = self._run_tasks(_execute_map_task, map_specs)
+
+        counters = Counters()
+        # Per-partition gather across map tasks.
+        gathered: list[list[KeyValue]] = [[] for _ in range(max(1, num_partitions))]
+        for partitions, counter_dict in map_outputs:
+            counters.merge(Counters.from_dict(counter_dict))
+            for index, part in enumerate(partitions):
+                gathered[index].extend(part)
+
+        if job.reducer is None:
+            records = [record for part in gathered for record in part]
+            return JobResult(
+                records=records,
+                counters=counters,
+                num_map_tasks=len(splits),
+                num_reduce_tasks=0,
+            )
+
+        shuffle_records = sum(len(part) for part in gathered)
+        shuffle_bytes = sum(
+            record_size(k, v) for part in gathered for k, v in part
+        )
+        counters.increment(FRAMEWORK_GROUP, SHUFFLE_RECORDS, shuffle_records)
+        counters.increment(FRAMEWORK_GROUP, SHUFFLE_BYTES, shuffle_bytes)
+
+        reduce_specs = [_ReduceTaskSpec(job=job, records=part) for part in gathered]
+        reduce_outputs = self._run_tasks(_execute_reduce_task, reduce_specs)
+        records = []
+        for output, counter_dict in reduce_outputs:
+            counters.merge(Counters.from_dict(counter_dict))
+            records.extend(output)
+        return JobResult(
+            records=records,
+            counters=counters,
+            num_map_tasks=len(splits),
+            num_reduce_tasks=num_partitions,
+        )
+
+    # -- engine-specific task execution ---------------------------------------
+    def _run_tasks(self, fn: Callable[[Any], Any], specs: list[Any]) -> list[Any]:
+        raise NotImplementedError
+
+
+class SerialEngine(Engine):
+    """Run every task in-process, one after another (deterministic)."""
+
+    def _run_tasks(self, fn: Callable[[Any], Any], specs: list[Any]) -> list[Any]:
+        return [fn(spec) for spec in specs]
+
+
+class MultiprocessEngine(Engine):
+    """Fan tasks out over a process pool.
+
+    ``max_workers=None`` uses the executor default (CPU count).  Everything
+    attached to the job must be picklable; task outputs come back in task
+    order so results match :class:`SerialEngine` exactly.
+    """
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+
+    def _run_tasks(self, fn: Callable[[Any], Any], specs: list[Any]) -> list[Any]:
+        if len(specs) <= 1:  # no point paying process start-up for one task
+            return [fn(spec) for spec in specs]
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(fn, specs))

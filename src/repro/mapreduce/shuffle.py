@@ -1,0 +1,107 @@
+"""Partitioning, sorting, and grouping — the sort/shuffle phase.
+
+Keys are partitioned with a *deterministic* hash (Python's builtin ``hash``
+is salted per process via PYTHONHASHSEED, which would make multiprocess
+runs non-reproducible and split keys across partitions between the driver
+and the workers).  Within each partition, records are sorted by key and
+grouped, reproducing Hadoop's guarantee that a reducer sees each key once
+with all its values, keys in sorted order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from itertools import groupby
+from typing import Any, Callable, Iterable, Iterator
+
+KeyValue = tuple[Any, Any]
+
+
+def stable_hash(key: Any) -> int:
+    """Process-independent 64-bit hash of an arbitrary picklable key.
+
+    Ints and strings take a fast path; everything else hashes its canonical
+    pickle.  Equal keys always collide (required for correctness); the
+    spread only affects balance.
+    """
+    if isinstance(key, bool):  # bool before int: True/False pickle differently
+        data = b"\x01" if key else b"\x00"
+    elif isinstance(key, int):
+        data = key.to_bytes((key.bit_length() + 8) // 8 + 1, "little", signed=True)
+    elif isinstance(key, str):
+        data = key.encode("utf-8")
+    elif isinstance(key, bytes):
+        data = key
+    else:
+        data = pickle.dumps(key, protocol=4)
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "little")
+
+
+def hash_partition(key: Any, num_partitions: int) -> int:
+    """Default partitioner: stable hash modulo partition count."""
+    if num_partitions < 1:
+        raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+    return stable_hash(key) % num_partitions
+
+
+def partition_records(
+    records: Iterable[KeyValue],
+    num_partitions: int,
+    partitioner: Callable[[Any, int], int] | None = None,
+) -> list[list[KeyValue]]:
+    """Split records into ``num_partitions`` lists by key."""
+    part_fn = partitioner or hash_partition
+    partitions: list[list[KeyValue]] = [[] for _ in range(num_partitions)]
+    for key, value in records:
+        index = part_fn(key, num_partitions)
+        if not 0 <= index < num_partitions:
+            raise ValueError(
+                f"partitioner returned {index} for key {key!r}, "
+                f"outside [0, {num_partitions})"
+            )
+        partitions[index].append((key, value))
+    return partitions
+
+
+def sort_and_group(
+    records: list[KeyValue],
+    sort_key: Callable[[Any], Any] | None = None,
+) -> Iterator[tuple[Any, Iterator[Any]]]:
+    """Sort a partition by key and yield (key, value-iterator) groups.
+
+    ``sort_key`` maps a record key to a sortable proxy when keys are not
+    naturally comparable (mixed types, dataclasses).  Grouping is by the
+    *original* key, so distinct keys with equal proxies stay separate
+    groups as long as they are adjacent after sorting; a tie-break on the
+    stable hash keeps them deterministic.
+    """
+    if sort_key is None:
+        ordering = lambda kv: kv[0]  # noqa: E731 - tiny inline key
+    else:
+        ordering = lambda kv: (sort_key(kv[0]), stable_hash(kv[0]))  # noqa: E731
+    ordered = sorted(records, key=ordering)
+    for key, group in groupby(ordered, key=lambda kv: kv[0]):
+        yield key, (value for _key, value in group)
+
+
+def run_combiner(
+    combiner_factory: Callable[[], Any],
+    records: list[KeyValue],
+    context_factory: Callable[[], Any],
+    sort_key: Callable[[Any], Any] | None = None,
+) -> tuple[list[KeyValue], Any]:
+    """Apply a combiner to one map task's output; returns (records, context).
+
+    The combiner is reducer-shaped and runs over locally sorted groups —
+    the same contract Hadoop gives: it may run zero or more times, so it
+    must be algebraically safe (associative + commutative contributions).
+    Here it runs exactly once per map task, which tests can rely on.
+    """
+    combiner = combiner_factory()
+    context = context_factory()
+    combiner.setup(context)
+    for key, values in sort_and_group(records, sort_key):
+        combiner.reduce(key, values, context)
+    combiner.cleanup(context)
+    return context.drain(), context

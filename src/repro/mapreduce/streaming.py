@@ -1,0 +1,139 @@
+"""Hadoop-Streaming-style jobs: mappers/reducers as external commands.
+
+Hadoop Streaming lets any executable act as a mapper or reducer via a
+line protocol — ``key \\t value`` on stdin and stdout, the reduce side
+receiving lines grouped (sorted) by key.  The paper's era made heavy use
+of it for non-Java pairwise functions, so the substrate supports it:
+
+- :class:`StreamingMapper` / :class:`StreamingReducer` wrap a command
+  line and speak the tab-separated protocol through a subprocess;
+- keys and values cross the boundary as strings (the streaming
+  contract); helpers encode/decode JSON payloads where structure is
+  needed;
+- a non-zero exit status or malformed output line fails the task (and
+  therefore triggers the engine's retry machinery).
+
+The wrappers are ordinary :class:`~repro.mapreduce.job.Mapper` /
+``Reducer`` subclasses, so streaming stages chain freely with native
+Python stages in one pipeline.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from typing import Any, Iterator, Sequence
+
+from .job import Context, Mapper, Reducer
+
+
+class StreamingProtocolError(RuntimeError):
+    """The external command misbehaved (exit status or malformed line)."""
+
+
+def _run_command(
+    command: Sequence[str], lines: list[str], *, timeout: float
+) -> list[str]:
+    """Feed lines to a subprocess; return its stdout lines."""
+    process = subprocess.run(
+        list(command),
+        input="".join(line + "\n" for line in lines),
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    if process.returncode != 0:
+        raise StreamingProtocolError(
+            f"command {command!r} exited {process.returncode}: "
+            f"{process.stderr.strip()[:500]}"
+        )
+    return [line for line in process.stdout.splitlines() if line]
+
+
+def _parse_line(line: str) -> tuple[str, str]:
+    """Split one protocol line into (key, value); value may be empty."""
+    if "\t" in line:
+        key, value = line.split("\t", 1)
+        return key, value
+    return line, ""
+
+
+def format_record(key: Any, value: Any) -> str:
+    """Encode one record for the wire: ``str(key) \\t str(value)``."""
+    key_text = str(key)
+    value_text = str(value)
+    if "\t" in key_text or "\n" in key_text:
+        raise StreamingProtocolError(f"key {key_text!r} contains protocol characters")
+    if "\n" in value_text:
+        raise StreamingProtocolError(f"value {value_text!r} contains a newline")
+    return f"{key_text}\t{value_text}"
+
+
+class StreamingMapper(Mapper):
+    """Run an external command over the task's records, emit its output.
+
+    The command is read from ``config['stream.mapper']`` (a list of argv
+    strings); all of a task's input records are fed in one subprocess
+    invocation — the per-task granularity Hadoop Streaming uses.
+    """
+
+    #: seconds before the subprocess is killed
+    timeout: float = 60.0
+
+    def setup(self, context: Context) -> None:
+        self._pending: list[str] = []
+
+    def map(self, key: Any, value: Any, context: Context) -> None:
+        self._pending.append(format_record(key, value))
+
+    def cleanup(self, context: Context) -> None:
+        command = context.config["stream.mapper"]
+        for line in _run_command(command, self._pending, timeout=self.timeout):
+            out_key, out_value = _parse_line(line)
+            context.emit(out_key, out_value)
+        context.counters.increment("streaming", "mapper_lines_in", len(self._pending))
+
+
+class StreamingReducer(Reducer):
+    """Run an external command over the task's sorted, grouped records.
+
+    Like Hadoop Streaming, the command sees one line per (key, value)
+    with equal keys adjacent; it is responsible for detecting group
+    boundaries itself.  Command from ``config['stream.reducer']``.
+    """
+
+    timeout: float = 60.0
+
+    def setup(self, context: Context) -> None:
+        self._pending: list[str] = []
+
+    def reduce(self, key: Any, values: Iterator[Any], context: Context) -> None:
+        for value in values:
+            self._pending.append(format_record(key, value))
+
+    def cleanup(self, context: Context) -> None:
+        command = context.config["stream.reducer"]
+        for line in _run_command(command, self._pending, timeout=self.timeout):
+            out_key, out_value = _parse_line(line)
+            context.emit(out_key, out_value)
+        context.counters.increment("streaming", "reducer_lines_in", len(self._pending))
+
+
+#: ready-made python one-liners usable as streaming commands in tests/demos
+IDENTITY_COMMAND = ("cat",)
+
+
+def python_command(code: str) -> tuple[str, ...]:
+    """argv for a python one-liner streaming stage.
+
+    The snippet sees ``sys.stdin`` and writes ``key\\tvalue`` lines to
+    stdout; ``sys`` is pre-imported::
+
+        python_command(
+            "for line in sys.stdin:\\n"
+            "    k, v = line.rstrip('\\\\n').split('\\\\t')\\n"
+            "    print(f'{k}\\\\t{int(v) * 2}')"
+        )
+    """
+    import sys
+
+    return (sys.executable, "-c", "import sys\n" + code)

@@ -1,0 +1,8 @@
+"""Text-based reporting: ASCII charts for the reproduced figures."""
+
+from .ascii_chart import AsciiChart, loglog_chart
+
+__all__ = [
+    "AsciiChart",
+    "loglog_chart",
+]

@@ -1,0 +1,147 @@
+"""ASCII log-log charts for the paper's figures.
+
+The paper's Figs 8–9 are log-log capacity charts.  The bench harness
+regenerates their *series*; this module renders those series as terminal
+charts so the reproduced figures are visually comparable, not just
+tabular.  Pure text, no plotting dependency.
+
+>>> chart = AsciiChart(width=40, height=10, log_x=True, log_y=True)
+>>> chart.add_series("block", [(1e4, 1e6), (1e7, 1e3)])
+>>> print(chart.render())  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+#: marker characters assigned to series in insertion order
+MARKERS = "*o+x#@%&"
+
+
+@dataclass
+class _Series:
+    label: str
+    points: list[tuple[float, float]]
+    marker: str
+
+
+@dataclass
+class AsciiChart:
+    """A multi-series scatter/line chart rendered to monospace text.
+
+    ``log_x`` / ``log_y`` put the corresponding axis on a log10 scale
+    (every point's coordinate must then be positive).  The plot area is
+    ``width × height`` characters; axes, tick labels, and a legend are
+    added around it.
+    """
+
+    width: int = 60
+    height: int = 20
+    log_x: bool = False
+    log_y: bool = False
+    x_label: str = "x"
+    y_label: str = "y"
+    _series: list[_Series] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.width < 10 or self.height < 4:
+            raise ValueError("chart needs width >= 10 and height >= 4")
+
+    def add_series(self, label: str, points: Sequence[tuple[float, float]]) -> None:
+        """Add a named series; at least one point required."""
+        if not points:
+            raise ValueError(f"series {label!r} has no points")
+        for x, y in points:
+            if self.log_x and x <= 0:
+                raise ValueError(f"log x-axis needs positive x, got {x}")
+            if self.log_y and y <= 0:
+                raise ValueError(f"log y-axis needs positive y, got {y}")
+        marker = MARKERS[len(self._series) % len(MARKERS)]
+        self._series.append(_Series(label, list(points), marker))
+
+    # -- scaling -----------------------------------------------------------
+    def _tx(self, x: float) -> float:
+        return math.log10(x) if self.log_x else x
+
+    def _ty(self, y: float) -> float:
+        return math.log10(y) if self.log_y else y
+
+    def _bounds(self) -> tuple[float, float, float, float]:
+        xs = [self._tx(x) for s in self._series for x, _y in s.points]
+        ys = [self._ty(y) for s in self._series for _x, y in s.points]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        return x_lo, x_hi, y_lo, y_hi
+
+    # -- rendering -----------------------------------------------------------
+    def render(self) -> str:
+        """The chart as a multi-line string."""
+        if not self._series:
+            raise ValueError("no series added")
+        x_lo, x_hi, y_lo, y_hi = self._bounds()
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        def place(x: float, y: float, marker: str) -> None:
+            col = round((self._tx(x) - x_lo) / (x_hi - x_lo) * (self.width - 1))
+            row = round((self._ty(y) - y_lo) / (y_hi - y_lo) * (self.height - 1))
+            grid[self.height - 1 - row][col] = marker
+
+        for series in self._series:
+            for x, y in series.points:
+                place(x, y, series.marker)
+
+        def fmt(value: float, is_log: bool) -> str:
+            if is_log:
+                return f"1e{value:.0f}" if value == int(value) else f"1e{value:.1f}"
+            return f"{value:g}"
+
+        lines = []
+        y_top = fmt(y_hi, self.log_y)
+        y_bottom = fmt(y_lo, self.log_y)
+        label_width = max(len(y_top), len(y_bottom))
+        for index, row in enumerate(grid):
+            if index == 0:
+                prefix = y_top.rjust(label_width)
+            elif index == self.height - 1:
+                prefix = y_bottom.rjust(label_width)
+            else:
+                prefix = " " * label_width
+            lines.append(f"{prefix} |{''.join(row)}")
+        lines.append(" " * label_width + " +" + "-" * self.width)
+        x_left = fmt(x_lo, self.log_x)
+        x_right = fmt(x_hi, self.log_x)
+        gap = self.width - len(x_left) - len(x_right)
+        lines.append(
+            " " * (label_width + 2) + x_left + " " * max(1, gap) + x_right
+        )
+        lines.append(
+            " " * (label_width + 2)
+            + f"{self.x_label}  (y: {self.y_label})"
+        )
+        legend = "  ".join(f"{s.marker}={s.label}" for s in self._series)
+        lines.append(" " * (label_width + 2) + legend)
+        return "\n".join(lines)
+
+
+def loglog_chart(
+    series: dict[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """One-call helper: a log-log chart of several named series."""
+    chart = AsciiChart(
+        width=width, height=height, log_x=True, log_y=True,
+        x_label=x_label, y_label=y_label,
+    )
+    for label, points in series.items():
+        chart.add_series(label, points)
+    return chart.render()

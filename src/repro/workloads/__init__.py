@@ -1,0 +1,21 @@
+"""Seeded synthetic workload generators for all experiments."""
+
+from .generator import (
+    make_blobs,
+    make_documents,
+    make_expression_matrix,
+    make_matrix,
+    make_mentions,
+    make_sized_elements,
+    make_vectors,
+)
+
+__all__ = [
+    "make_blobs",
+    "make_documents",
+    "make_expression_matrix",
+    "make_matrix",
+    "make_mentions",
+    "make_sized_elements",
+    "make_vectors",
+]

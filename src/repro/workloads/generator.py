@@ -1,0 +1,219 @@
+"""Seeded synthetic workload generators.
+
+The paper names no datasets — its analysis depends only on cardinality
+``v`` and element size ``s`` — so every experiment here runs on seeded
+synthetic data shaped like the §1 applications:
+
+- :func:`make_blobs` — Gaussian point clusters for DBSCAN;
+- :func:`make_documents` — Zipf-token documents for similarity/co-reference;
+- :func:`make_expression_matrix` — gene-expression profiles with planted
+  correlated pairs for the mutual-information workload;
+- :func:`make_matrix` — dense matrices for the covariance/PCA workload;
+- :func:`make_sized_elements` — size-only payloads for capacity
+  experiments (Figs 8–9) that never materialize the bytes.
+
+All generators take an explicit ``seed`` and are deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mapreduce.serialization import SizedPayload
+
+
+def make_blobs(
+    v: int,
+    *,
+    dim: int = 2,
+    num_clusters: int = 3,
+    spread: float = 0.5,
+    box: float = 10.0,
+    noise_fraction: float = 0.0,
+    seed: int = 0,
+) -> list[np.ndarray]:
+    """Points drawn around ``num_clusters`` Gaussian centres.
+
+    ``noise_fraction`` of the points are replaced by uniform background
+    noise (to exercise DBSCAN's noise labelling).  Centres are uniform in
+    ``[-box, box]^dim``; cluster points have stddev ``spread``.
+    """
+    if v < 1:
+        raise ValueError(f"v must be >= 1, got {v}")
+    if num_clusters < 1:
+        raise ValueError(f"num_clusters must be >= 1, got {num_clusters}")
+    if not 0.0 <= noise_fraction <= 1.0:
+        raise ValueError(f"noise_fraction must be in [0, 1], got {noise_fraction}")
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-box, box, size=(num_clusters, dim))
+    assignments = rng.integers(0, num_clusters, size=v)
+    points = centers[assignments] + rng.normal(0.0, spread, size=(v, dim))
+    num_noise = int(round(noise_fraction * v))
+    if num_noise:
+        noise_idx = rng.choice(v, size=num_noise, replace=False)
+        points[noise_idx] = rng.uniform(-box * 1.5, box * 1.5, size=(num_noise, dim))
+    return [points[i] for i in range(v)]
+
+
+def make_documents(
+    v: int,
+    *,
+    vocabulary: int = 500,
+    length: int = 60,
+    zipf_s: float = 1.3,
+    num_topics: int = 5,
+    topic_strength: float = 0.6,
+    seed: int = 0,
+) -> list[list[str]]:
+    """Token documents with Zipf-distributed words and planted topics.
+
+    Each document draws ``topic_strength`` of its tokens from one topic's
+    slice of the vocabulary (making same-topic documents similar) and the
+    rest from the global Zipf distribution — giving the similarity
+    workloads non-trivial structure.
+    """
+    if v < 1 or vocabulary < num_topics or length < 1:
+        raise ValueError("bad generator parameters")
+    rng = np.random.default_rng(seed)
+    words = [f"w{idx}" for idx in range(vocabulary)]
+    ranks = np.arange(1, vocabulary + 1, dtype=float)
+    zipf = 1.0 / ranks**zipf_s
+    zipf /= zipf.sum()
+    slice_size = vocabulary // num_topics
+    docs: list[list[str]] = []
+    for _ in range(v):
+        topic = int(rng.integers(0, num_topics))
+        lo = topic * slice_size
+        tokens: list[str] = []
+        for _ in range(length):
+            if rng.random() < topic_strength:
+                tokens.append(words[lo + int(rng.integers(0, slice_size))])
+            else:
+                tokens.append(words[int(rng.choice(vocabulary, p=zipf))])
+        docs.append(tokens)
+    return docs
+
+
+def make_expression_matrix(
+    num_genes: int,
+    num_samples: int,
+    *,
+    num_linked_pairs: int = 0,
+    link_noise: float = 0.1,
+    seed: int = 0,
+) -> np.ndarray:
+    """Gene-expression matrix (genes × samples) with planted dependencies.
+
+    ``num_linked_pairs`` gene pairs (2k, 2k+1) are made strongly dependent
+    (the second is a noisy copy of the first), so their mutual information
+    stands out from the independent background — the signal the relevance
+    network should recover.
+    """
+    if num_genes < 1 or num_samples < 1:
+        raise ValueError("need positive dimensions")
+    if num_linked_pairs * 2 > num_genes:
+        raise ValueError(
+            f"{num_linked_pairs} linked pairs need {num_linked_pairs * 2} genes, "
+            f"got {num_genes}"
+        )
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(0.0, 1.0, size=(num_genes, num_samples))
+    for pair in range(num_linked_pairs):
+        src, dst = 2 * pair, 2 * pair + 1
+        matrix[dst] = matrix[src] + rng.normal(0.0, link_noise, size=num_samples)
+    return matrix
+
+
+def make_matrix(
+    rows: int, cols: int, *, rank: int | None = None, seed: int = 0
+) -> np.ndarray:
+    """Dense matrix for the covariance workload; optionally low-rank.
+
+    A known low rank makes PCA's eigenvalue tail collapse — an easy
+    correctness signal for the covariance pipeline.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("need positive dimensions")
+    rng = np.random.default_rng(seed)
+    if rank is None:
+        return rng.normal(0.0, 1.0, size=(rows, cols))
+    if not 1 <= rank <= min(rows, cols):
+        raise ValueError(f"rank must be in [1, {min(rows, cols)}], got {rank}")
+    left = rng.normal(0.0, 1.0, size=(rows, rank))
+    right = rng.normal(0.0, 1.0, size=(rank, cols))
+    return left @ right
+
+
+def make_sized_elements(v: int, size_bytes: int) -> list[SizedPayload]:
+    """Size-only payloads for capacity experiments (no real bytes)."""
+    if v < 1:
+        raise ValueError(f"v must be >= 1, got {v}")
+    return [SizedPayload(size_bytes=size_bytes, tag=i) for i in range(v)]
+
+
+def make_mentions(
+    num_entities: int,
+    mentions_per_entity: int,
+    *,
+    context_words: int = 12,
+    topic_vocab: int = 30,
+    shared_vocab: int = 200,
+    noise: float = 0.3,
+    seed: int = 0,
+):
+    """Entity mentions for the co-reference workload.
+
+    Each entity gets a two-token canonical name; its mentions use surface
+    variants (full name, "F. Last", last name only) and draw
+    ``1 − noise`` of their context from the entity's private topic slice
+    and the rest from a shared vocabulary.  Returns
+    ``(mentions, truth)`` where ``truth`` maps 1-indexed mention id →
+    entity index (the gold chains).
+    """
+    from ..apps.coreference import Mention
+
+    if num_entities < 1 or mentions_per_entity < 1:
+        raise ValueError("need positive entity/mention counts")
+    if not 0.0 <= noise <= 1.0:
+        raise ValueError(f"noise must be in [0, 1], got {noise}")
+    rng = np.random.default_rng(seed)
+    firsts = ["john", "mary", "wei", "anna", "omar", "lena", "ivan", "noor"]
+    lasts = [
+        "smith", "garcia", "chen", "novak", "haddad", "kim", "okafor",
+        "berg", "rossi", "tanaka", "weber", "silva",
+    ]
+    if num_entities > len(firsts) * len(lasts):
+        raise ValueError(f"at most {len(firsts) * len(lasts)} distinct entities")
+    name_pool = [(f, l) for l in lasts for f in firsts]
+    rng.shuffle(name_pool)
+
+    mentions = []
+    truth: dict[int, int] = {}
+    mention_id = 1
+    for entity in range(num_entities):
+        first, last = name_pool[entity]
+        variants = [f"{first} {last}", f"{first[0]}. {last}", f"{first} {last}"]
+        topic_lo = entity * topic_vocab
+        for _ in range(mentions_per_entity):
+            surface = variants[int(rng.integers(0, len(variants)))]
+            context = []
+            for _ in range(context_words):
+                if rng.random() < noise:
+                    context.append(f"c{int(rng.integers(0, shared_vocab))}")
+                else:
+                    context.append(f"t{topic_lo + int(rng.integers(0, topic_vocab))}")
+            mentions.append(
+                Mention(name=surface, context=tuple(context), doc_id=mention_id)
+            )
+            truth[mention_id] = entity
+            mention_id += 1
+    return mentions, truth
+
+
+def make_vectors(v: int, dim: int, *, seed: int = 0) -> list[np.ndarray]:
+    """Plain Gaussian vectors (generic numeric payloads)."""
+    if v < 1 or dim < 1:
+        raise ValueError("need positive dimensions")
+    rng = np.random.default_rng(seed)
+    data = rng.normal(0.0, 1.0, size=(v, dim))
+    return [data[i] for i in range(v)]

@@ -1,0 +1,162 @@
+"""Cross-document co-reference tests."""
+
+import pytest
+
+from repro.apps.coreference import (
+    CoreferenceComp,
+    Mention,
+    b_cubed,
+    chains_from_scores,
+    context_cosine,
+    coreference_reference,
+    name_compatibility,
+)
+from repro.core.block import BlockScheme
+from repro.core.pairwise import pairwise_results
+from repro.workloads.generator import make_mentions
+
+
+def m(name, *context):
+    return Mention(name=name, context=tuple(context))
+
+
+class TestNameCompatibility:
+    def test_exact_match(self):
+        assert name_compatibility(m("John Smith"), m("john smith")) == 1.0
+
+    def test_containment(self):
+        assert name_compatibility(m("Smith"), m("John Smith")) == 0.8
+
+    def test_initials(self):
+        assert name_compatibility(m("J. Smith"), m("John Smith")) == 0.7
+
+    def test_incompatible(self):
+        assert name_compatibility(m("John Smith"), m("Mary Garcia")) == 0.0
+
+    def test_different_initials_incompatible(self):
+        assert name_compatibility(m("K. Smith"), m("John Smith")) == 0.0
+
+    def test_empty_name(self):
+        assert name_compatibility(m(""), m("John")) == 0.0
+
+    def test_symmetric(self):
+        pairs = [
+            (m("J. Smith"), m("John Smith")),
+            (m("Smith"), m("John Smith")),
+            (m("A B"), m("C D")),
+        ]
+        for a, b in pairs:
+            assert name_compatibility(a, b) == name_compatibility(b, a)
+
+
+class TestContextCosine:
+    def test_identical(self):
+        a = m("X", "w1", "w2")
+        assert context_cosine(a, a) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert context_cosine(m("X", "a"), m("X", "b")) == 0.0
+
+    def test_empty(self):
+        assert context_cosine(m("X"), m("X", "a")) == 0.0
+
+
+class TestComp:
+    def test_blocking_short_circuits(self):
+        comp = CoreferenceComp()
+        a = m("John Smith", "shared", "context")
+        b = m("Mary Garcia", "shared", "context")
+        assert comp(a, b) == 0.0  # names incompatible, context ignored
+
+    def test_blend(self):
+        comp = CoreferenceComp(name_weight=0.5)
+        a = m("John Smith", "w")
+        b = m("John Smith", "w")
+        assert comp(a, b) == pytest.approx(0.5 * 1.0 + 0.5 * 1.0)
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            CoreferenceComp(name_weight=1.5)
+
+    def test_picklable(self):
+        import pickle
+
+        comp = pickle.loads(pickle.dumps(CoreferenceComp(0.3)))
+        assert comp.name_weight == 0.3
+
+
+class TestChains:
+    def test_transitive_merging(self):
+        # 1~2 and 2~3 link; 1-3 may not directly, still one chain.
+        scores = {(2, 1): 0.9, (3, 2): 0.9, (3, 1): 0.1}
+        chains = chains_from_scores(scores, 3, threshold=0.5)
+        assert chains.chains == [[1, 2, 3]]
+
+    def test_singletons_preserved(self):
+        chains = chains_from_scores({(2, 1): 0.1}, 3, threshold=0.5)
+        assert chains.chains == [[1], [2], [3]]
+
+    def test_bad_pair_key(self):
+        with pytest.raises(ValueError):
+            chains_from_scores({(1, 2): 0.9}, 3, threshold=0.5)
+
+    def test_labels(self):
+        chains = chains_from_scores({(2, 1): 0.9}, 3, threshold=0.5)
+        labels = chains.as_labels()
+        assert labels[1] == labels[2] != labels[3]
+
+    def test_chain_of_missing(self):
+        chains = chains_from_scores({}, 2, 0.5)
+        with pytest.raises(KeyError):
+            chains.chain_of(5)
+
+
+class TestBCubed:
+    def test_perfect(self):
+        chains = chains_from_scores({(2, 1): 0.9}, 3, 0.5)
+        truth = {1: 0, 2: 0, 3: 1}
+        assert b_cubed(chains, truth) == (1.0, 1.0, 1.0)
+
+    def test_everything_merged_hurts_precision(self):
+        chains = chains_from_scores({(2, 1): 0.9, (3, 1): 0.9}, 3, 0.5)
+        truth = {1: 0, 2: 0, 3: 1}
+        p, r, f1 = b_cubed(chains, truth)
+        assert r == 1.0
+        assert p < 1.0
+
+    def test_everything_split_hurts_recall(self):
+        chains = chains_from_scores({}, 3, 0.5)
+        truth = {1: 0, 2: 0, 3: 0}
+        p, r, f1 = b_cubed(chains, truth)
+        assert p == 1.0
+        assert r < 1.0
+
+    def test_mismatched_mentions_rejected(self):
+        chains = chains_from_scores({}, 2, 0.5)
+        with pytest.raises(ValueError):
+            b_cubed(chains, {1: 0})
+
+
+class TestEndToEnd:
+    def test_pipeline_matches_reference(self):
+        mentions, _truth = make_mentions(5, 4, seed=9)
+        ref = coreference_reference(mentions, threshold=0.45)
+        scores = pairwise_results(
+            mentions, CoreferenceComp(0.5), BlockScheme(len(mentions), 4)
+        )
+        chains = chains_from_scores(scores, len(mentions), 0.45)
+        assert chains.chains == ref.chains
+
+    def test_recovers_entities_well(self):
+        mentions, truth = make_mentions(8, 6, noise=0.25, seed=3)
+        chains = coreference_reference(mentions, threshold=0.45)
+        _p, _r, f1 = b_cubed(chains, truth)
+        assert f1 > 0.85  # strong recovery on the synthetic workload
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            make_mentions(0, 3)
+        with pytest.raises(ValueError):
+            make_mentions(3, 3, noise=2.0)
+        with pytest.raises(ValueError):
+            make_mentions(10_000, 1)  # exceeds the name pool

@@ -1,0 +1,110 @@
+"""Covariance / PCA application tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.covariance import (
+    assemble_covariance,
+    center_rows,
+    covariance_reference,
+    pca_from_covariance,
+    row_inner_product,
+)
+from repro.core.block import BlockScheme
+from repro.core.pairwise import pairwise_results
+from repro.workloads import make_matrix
+
+
+class TestCentering:
+    def test_rows_have_zero_mean(self):
+        rows = center_rows(make_matrix(5, 20, seed=0))
+        for row in rows:
+            assert row.mean() == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            center_rows(np.zeros(5))
+
+
+class TestAssembly:
+    def test_matches_numpy_cov(self):
+        A = make_matrix(8, 30, seed=1)
+        rows = center_rows(A)
+        products = pairwise_results(rows, row_inner_product, BlockScheme(8, 3))
+        cov = assemble_covariance(products, rows)
+        assert np.allclose(cov, covariance_reference(A))
+
+    def test_symmetric_output(self):
+        A = make_matrix(6, 25, seed=2)
+        rows = center_rows(A)
+        products = pairwise_results(rows, row_inner_product, BlockScheme(6, 2))
+        cov = assemble_covariance(products, rows)
+        assert np.allclose(cov, cov.T)
+
+    def test_bad_pair_key_rejected(self):
+        rows = center_rows(make_matrix(3, 10, seed=0))
+        with pytest.raises(ValueError):
+            assemble_covariance({(5, 1): 1.0}, rows)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            assemble_covariance({}, [np.array([1.0])])
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            assemble_covariance({}, [])
+
+
+class TestPCA:
+    def test_low_rank_signal_detected(self):
+        """A rank-3 matrix's covariance has exactly 3 significant eigenvalues."""
+        A = make_matrix(10, 40, rank=3, seed=3)
+        cov = covariance_reference(A)
+        result = pca_from_covariance(cov)
+        significant = (result.eigenvalues > 1e-8).sum()
+        assert significant == 3
+
+    def test_eigenvalues_descending(self):
+        cov = covariance_reference(make_matrix(7, 30, seed=4))
+        values = pca_from_covariance(cov).eigenvalues
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_components_orthonormal(self):
+        cov = covariance_reference(make_matrix(6, 30, seed=5))
+        components = pca_from_covariance(cov).components
+        gram = components @ components.T
+        assert np.allclose(gram, np.eye(len(components)), atol=1e-10)
+
+    def test_k_truncation(self):
+        cov = covariance_reference(make_matrix(6, 30, seed=5))
+        result = pca_from_covariance(cov, k=2)
+        assert result.eigenvalues.shape == (2,)
+        assert result.components.shape == (2, 6)
+
+    def test_explained_variance_ratio_sums_to_one(self):
+        cov = covariance_reference(make_matrix(6, 30, seed=6))
+        ratio = pca_from_covariance(cov).explained_variance_ratio
+        assert ratio.sum() == pytest.approx(1.0)
+
+    def test_sign_convention_deterministic(self):
+        cov = covariance_reference(make_matrix(6, 30, seed=7))
+        a = pca_from_covariance(cov).components
+        b = pca_from_covariance(cov).components
+        assert np.array_equal(a, b)
+        for row in a:
+            assert row[np.argmax(np.abs(row))] > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pca_from_covariance(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            pca_from_covariance(np.eye(3), k=0)
+        with pytest.raises(ValueError):
+            pca_from_covariance(np.eye(3), k=4)
+
+    def test_reconstruction_against_numpy_eig(self):
+        A = make_matrix(9, 50, seed=8)
+        cov = covariance_reference(A)
+        ours = pca_from_covariance(cov).eigenvalues
+        numpy_values = np.sort(np.linalg.eigvalsh(cov))[::-1]
+        assert np.allclose(ours, numpy_values)

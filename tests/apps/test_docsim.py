@@ -1,0 +1,120 @@
+"""Document similarity tests (generic pairwise and Elsayed baseline)."""
+
+import math
+
+import pytest
+
+from repro.apps.docsim import (
+    brute_force_similarity,
+    build_tfidf,
+    cosine_similarity,
+    elsayed_similarity,
+    most_similar,
+    tokenize,
+)
+from repro.core.design import DesignScheme
+from repro.core.pairwise import pairwise_results
+from repro.workloads import make_documents
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("Hello, World! 2x") == ["hello", "world", "2x"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("...!!!") == []
+
+
+class TestTfIdf:
+    def test_vectors_normalized(self):
+        docs = [["a", "b", "a"], ["b", "c"], ["c", "d"]]
+        for vector in build_tfidf(docs):
+            if vector:
+                norm = math.sqrt(sum(w * w for w in vector.values()))
+                assert norm == pytest.approx(1.0)
+
+    def test_ubiquitous_term_zero_weight(self):
+        docs = [["common", "x"], ["common", "y"], ["common", "z"]]
+        vectors = build_tfidf(docs)
+        assert all("common" not in v for v in vectors)  # idf = ln(1) = 0
+
+    def test_empty_input(self):
+        assert build_tfidf([]) == []
+
+
+class TestCosine:
+    def test_identical_vectors(self):
+        v = {"a": 0.6, "b": 0.8}
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_symmetric(self):
+        a, b = {"x": 0.5, "y": 0.5}, {"y": 1.0}
+        assert cosine_similarity(a, b) == cosine_similarity(b, a)
+
+
+class TestElsayedBaseline:
+    def test_matches_brute_force(self):
+        docs = make_documents(15, seed=2)
+        vectors = build_tfidf(docs)
+        brute = brute_force_similarity(vectors, threshold=1e-12)
+        baseline, _result = elsayed_similarity(vectors, threshold=1e-12)
+        assert set(baseline) == set(brute)
+        for pair in baseline:
+            assert baseline[pair] == pytest.approx(brute[pair])
+
+    def test_matches_generic_pairwise(self):
+        """The paper's generic method and the §2 baseline agree on shared-term pairs."""
+        docs = make_documents(12, seed=8)
+        vectors = build_tfidf(docs)
+        generic = pairwise_results(vectors, cosine_similarity, DesignScheme(12))
+        baseline, _ = elsayed_similarity(vectors, threshold=1e-12)
+        for pair, sim in baseline.items():
+            assert generic[pair] == pytest.approx(sim)
+        # Pairs the baseline skipped really have (near-)zero similarity.
+        for pair, sim in generic.items():
+            if pair not in baseline:
+                assert sim == pytest.approx(0.0, abs=1e-9)
+
+    def test_threshold_prunes(self):
+        docs = make_documents(12, seed=8)
+        vectors = build_tfidf(docs)
+        low, _ = elsayed_similarity(vectors, threshold=0.0)
+        high, _ = elsayed_similarity(vectors, threshold=0.5)
+        assert set(high) <= set(low)
+        assert all(sim > 0.5 for sim in high.values())
+
+    def test_df_prune_drops_hot_terms(self):
+        # "hot" in 9 of 10 docs: idf > 0 (unlike a ubiquitous term, which
+        # tf-idf removes by itself), so the df cut has something to prune.
+        docs = [["hot", f"unique{i}"] for i in range(9)] + [["only", "rare"]]
+        vectors = build_tfidf(docs)
+        _pruned, result = elsayed_similarity(vectors, df_prune=5)
+        assert result.counters.get("docsim", "pruned_terms") >= 1
+
+    def test_partial_product_count(self):
+        """Work = Σ_t |postings(t)|·(|postings(t)|−1)/2, visible in counters."""
+        docs = make_documents(10, seed=4)
+        vectors = build_tfidf(docs)
+        _sims, result = elsayed_similarity(vectors)
+        expected = 0
+        from collections import Counter
+
+        df: Counter = Counter()
+        for vector in vectors:
+            df.update(vector.keys())
+        expected = sum(n * (n - 1) // 2 for n in df.values())
+        assert result.counters.get("docsim", "partial_products") == expected
+
+
+class TestMostSimilar:
+    def test_ranking(self):
+        sims = {(2, 1): 0.9, (3, 1): 0.5, (3, 2): 0.7}
+        assert most_similar(sims, 1, k=2) == [(2, 0.9), (3, 0.5)]
+
+    def test_k_cap(self):
+        sims = {(2, 1): 0.9, (3, 1): 0.5}
+        assert len(most_similar(sims, 1, k=1)) == 1

@@ -1,0 +1,93 @@
+"""kNN-graph application tests."""
+
+import pytest
+
+from repro.apps.knn import (
+    average_neighbor_distance,
+    degree_histogram,
+    knn_graph,
+    knn_reference,
+    recall_at_k,
+)
+from repro.core.block import BlockScheme
+from repro.core.design import CyclicDesignScheme
+from repro.workloads import make_blobs
+
+
+@pytest.fixture
+def points():
+    return make_blobs(30, num_clusters=3, spread=0.4, seed=17)
+
+
+class TestConstruction:
+    def test_matches_reference(self, points):
+        ref = knn_reference(points, k=4)
+        got = knn_graph(points, 4, BlockScheme(30, 4))
+        assert got.neighbors == ref.neighbors
+        assert recall_at_k(got, ref) == 1.0
+
+    def test_cyclic_design_scheme(self, points):
+        ref = knn_reference(points, k=3)
+        got = knn_graph(points, 3, CyclicDesignScheme(30), use_local=True)
+        assert got.neighbors == ref.neighbors
+
+    def test_every_node_has_k_neighbors(self, points):
+        graph = knn_reference(points, k=5)
+        assert all(len(partners) == 5 for partners in graph.neighbors.values())
+
+    def test_neighbors_ascending_distance(self, points):
+        graph = knn_reference(points, k=6)
+        for partners in graph.neighbors.values():
+            distances = [d for _eid, d in partners]
+            assert distances == sorted(distances)
+
+    def test_validation(self, points):
+        with pytest.raises(ValueError):
+            knn_graph(points, 0, BlockScheme(30, 3))
+        with pytest.raises(ValueError):
+            knn_graph(points, 30, BlockScheme(30, 3))
+        with pytest.raises(ValueError):
+            knn_reference(points, 0)
+
+
+class TestGraphOps:
+    def test_edge_set_size(self, points):
+        graph = knn_reference(points, k=3)
+        assert len(graph.edge_set()) == 30 * 3
+
+    def test_mutual_edges_subset(self, points):
+        graph = knn_reference(points, k=4)
+        mutual = graph.mutual_edges()
+        directed = graph.edge_set()
+        for i, j in mutual:
+            assert (i, j) in directed and (j, i) in directed
+            assert i > j
+
+    def test_clustered_points_mostly_mutual(self, points):
+        """Tight blobs: most nearest-neighbour relations are reciprocal."""
+        graph = knn_reference(points, k=4)
+        assert len(graph.mutual_edges()) > 30 * 4 / 2 * 0.5
+
+    def test_recall_requires_same_k(self, points):
+        with pytest.raises(ValueError):
+            recall_at_k(knn_reference(points, 2), knn_reference(points, 3))
+
+    def test_average_distance_grows_with_k(self, points):
+        near = average_neighbor_distance(knn_reference(points, 2))
+        far = average_neighbor_distance(knn_reference(points, 10))
+        assert far > near
+
+    def test_degree_histogram_totals(self, points):
+        graph = knn_reference(points, k=3)
+        histogram = degree_histogram(graph)
+        assert sum(count * times for count, times in histogram.items()) == 30 * 3
+        assert sum(histogram.values()) == 30
+
+    def test_to_networkx(self, points):
+        graph = knn_reference(points, k=2)
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 30
+        assert nx_graph.number_of_edges() == 60
+        # Edge weights carried over.
+        edge = next(iter(nx_graph.edges(data=True)))
+        assert "distance" in edge[2]

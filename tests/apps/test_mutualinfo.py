@@ -1,0 +1,116 @@
+"""Mutual information / relevance network tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.mutualinfo import (
+    MutualInformationComp,
+    build_relevance_network,
+    brute_force_mi,
+    mutual_information,
+)
+from repro.core.design import DesignScheme
+from repro.core.pairwise import pairwise_results
+from repro.workloads import make_expression_matrix
+
+
+class TestEstimator:
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=100), rng.normal(size=100)
+        assert mutual_information(x, y) == pytest.approx(mutual_information(y, x))
+
+    def test_self_information_is_entropy_scale(self):
+        """MI(x, x) is maximal: ln(bins) for a uniform spread."""
+        x = np.linspace(0, 1, 800)
+        mi = mutual_information(x, x, bins=8)
+        assert mi == pytest.approx(np.log(8), rel=0.02)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(1)
+        x, y = rng.normal(size=5000), rng.normal(size=5000)
+        assert mutual_information(x, y, bins=6) < 0.05
+
+    def test_dependent_larger_than_independent(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=500)
+        noisy_copy = x + rng.normal(0, 0.1, size=500)
+        independent = rng.normal(size=500)
+        assert mutual_information(x, noisy_copy) > 5 * mutual_information(x, independent)
+
+    def test_constant_profile_zero(self):
+        x = np.zeros(50)
+        y = np.linspace(0, 1, 50)
+        assert mutual_information(x, y) == pytest.approx(0.0, abs=1e-12)
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            x, y = rng.normal(size=40), rng.normal(size=40)
+            assert mutual_information(x, y) >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mutual_information(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            mutual_information(np.zeros(0), np.zeros(0))
+        with pytest.raises(ValueError):
+            mutual_information(np.zeros(3), np.zeros(3), bins=0)
+
+    def test_comp_wrapper_picklable(self):
+        import pickle
+
+        comp = MutualInformationComp(bins=6)
+        clone = pickle.loads(pickle.dumps(comp))
+        x, y = np.arange(20.0), np.arange(20.0) ** 2
+        assert clone(x, y) == comp(x, y)
+
+    def test_comp_wrapper_validation(self):
+        with pytest.raises(ValueError):
+            MutualInformationComp(bins=0)
+
+
+class TestRelevanceNetwork:
+    def _network(self):
+        matrix = make_expression_matrix(12, 80, num_linked_pairs=3, seed=4)
+        profiles = [matrix[i] for i in range(12)]
+        mi = brute_force_mi(profiles)
+        return build_relevance_network(mi, 12, threshold=0.8)
+
+    def test_planted_pairs_recovered(self):
+        net = self._network()
+        found = {(i, j) for i, j, _mi in net.edges}
+        assert {(2, 1), (4, 3), (6, 5)} <= found
+
+    def test_background_mostly_absent(self):
+        net = self._network()
+        # Mostly the 3 planted edges; allow an occasional false positive.
+        assert len(net.edges) <= 6
+
+    def test_degree_and_neighbors(self):
+        net = self._network()
+        assert net.degree(1) >= 1
+        assert 2 in net.neighbors(1)
+
+    def test_components(self):
+        net = self._network()
+        components = net.components()
+        assert sum(len(c) for c in components) == 12
+        # Planted pairs form (at least) 2-element components.
+        assert any({1, 2} <= c for c in components)
+
+    def test_to_networkx(self):
+        net = self._network()
+        graph = net.to_networkx()
+        assert graph.number_of_nodes() == 12
+        assert graph.number_of_edges() == len(net.edges)
+        for i, j, mi in net.edges:
+            assert graph.edges[i, j]["mi"] == mi
+
+    def test_pipeline_matches_brute_force(self):
+        matrix = make_expression_matrix(10, 50, num_linked_pairs=2, seed=6)
+        profiles = [matrix[i] for i in range(10)]
+        got = pairwise_results(profiles, MutualInformationComp(8), DesignScheme(10))
+        brute = brute_force_mi(profiles, bins=8)
+        for pair in brute:
+            assert got[pair] == pytest.approx(brute[pair])

@@ -1,0 +1,66 @@
+"""One-job broadcast simulation tests (§5.1's distributed-cache form)."""
+
+import pytest
+
+from repro._util import KB, MB, TB
+from repro.cluster.node import ClusterSpec, NodeSpec
+from repro.cluster.simulator import ClusterSimulator
+from repro.core.block import BlockScheme
+from repro.core.broadcast import BroadcastScheme
+
+
+def simulator(**kwargs):
+    defaults = dict(
+        cluster=ClusterSpec.homogeneous(8, NodeSpec(slot_memory=400 * MB, slots=2)),
+        maxis=1 * TB,
+    )
+    defaults.update(kwargs)
+    return ClusterSimulator(**defaults)
+
+
+class TestOneJobSimulation:
+    def test_requires_broadcast_scheme(self):
+        with pytest.raises(TypeError):
+            simulator().simulate_broadcast_one_job(BlockScheme(100, 5), 1 * KB)
+
+    def test_replication_is_node_count(self):
+        scheme = BroadcastScheme(500, 16)
+        report = simulator().simulate_broadcast_one_job(scheme, 100 * KB)
+        # Cache = one dataset copy per node, not per task.
+        assert report.measured.replication_factor == 8
+
+    def test_cheaper_intermediate_than_two_job_for_big_elements(self):
+        """The one-job form ships results (16 B) instead of element
+        copies — a large win when elements are big."""
+        scheme = BroadcastScheme(500, 16)
+        two_job = simulator().simulate(scheme, 500 * KB)
+        one_job = simulator().simulate_broadcast_one_job(scheme, 500 * KB)
+        assert (
+            one_job.measured.intermediate_bytes
+            < two_job.measured.intermediate_bytes
+        )
+
+    def test_evaluations_conserved(self):
+        scheme = BroadcastScheme(300, 10)
+        report = simulator().simulate_broadcast_one_job(scheme, 10 * KB)
+        assert report.measured.total_evaluations == 300 * 299 // 2
+
+    def test_broadcast_time_in_makespan(self):
+        """A slow network makes the cache broadcast visible in makespan."""
+        from repro.cluster.network import NetworkModel
+
+        scheme = BroadcastScheme(500, 16)
+        fast = simulator(network=NetworkModel(bandwidth=10_000 * MB)) \
+            .simulate_broadcast_one_job(scheme, 1 * MB)
+        slow = simulator(network=NetworkModel(bandwidth=10 * MB)) \
+            .simulate_broadcast_one_job(scheme, 1 * MB)
+        assert slow.measured.makespan_seconds > fast.measured.makespan_seconds
+
+    def test_memory_limit_still_binds(self):
+        scheme = BroadcastScheme(5000, 16)  # 5000 × 100 KB = 500 MB > slot
+        report = simulator().simulate_broadcast_one_job(scheme, 100 * KB)
+        assert not report.feasible
+
+    def test_element_size_validation(self):
+        with pytest.raises(ValueError):
+            simulator().simulate_broadcast_one_job(BroadcastScheme(10, 2), 0)

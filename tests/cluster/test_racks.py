@@ -1,0 +1,135 @@
+"""Rack-aware topology tests."""
+
+import pytest
+
+from repro._util import MB
+from repro.cluster.racks import (
+    Locality,
+    RackTopology,
+    locality_profile,
+    rack_aware_placement,
+    read_locality,
+    read_seconds,
+)
+
+
+def topo(nodes=8, per_rack=4):
+    return RackTopology(num_nodes=nodes, nodes_per_rack=per_rack)
+
+
+class TestTopology:
+    def test_rack_assignment(self):
+        t = topo(8, 4)
+        assert t.num_racks == 2
+        assert t.rack_of(0) == 0
+        assert t.rack_of(3) == 0
+        assert t.rack_of(4) == 1
+
+    def test_ragged_last_rack(self):
+        t = topo(10, 4)
+        assert t.num_racks == 3
+        assert t.rack_members(2) == [8, 9]
+
+    def test_bandwidth_tiers(self):
+        t = topo()
+        assert t.bandwidth_between(0, 0) == float("inf")
+        assert t.bandwidth_between(0, 1) == t.intra_rack_bandwidth
+        assert t.bandwidth_between(0, 5) == t.cross_rack_bandwidth
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RackTopology(num_nodes=0)
+        with pytest.raises(ValueError):
+            RackTopology(num_nodes=4, nodes_per_rack=0)
+        with pytest.raises(ValueError):
+            RackTopology(num_nodes=4, intra_rack_bandwidth=0)
+        with pytest.raises(ValueError):
+            topo().rack_of(99)
+
+
+class TestPlacement:
+    def test_three_replica_policy(self):
+        """Primary on writer; replicas 2+3 together on one *other* rack."""
+        t = topo(8, 4)
+        placements = rack_aware_placement(t, 16, replication=3, seed=3)
+        for block, replicas in enumerate(placements):
+            assert len(replicas) == 3
+            assert len(set(replicas)) == 3
+            primary_rack = t.rack_of(replicas[0])
+            other_racks = {t.rack_of(node) for node in replicas[1:]}
+            assert len(other_racks) == 1
+            assert other_racks != {primary_rack}
+
+    def test_survives_rack_failure(self):
+        """The policy's point: no rack holds all replicas of a block."""
+        t = topo(12, 4)
+        for replicas in rack_aware_placement(t, 30, seed=9):
+            racks = {t.rack_of(node) for node in replicas}
+            assert len(racks) >= 2
+
+    def test_single_rack_degenerates(self):
+        t = topo(4, 4)
+        placements = rack_aware_placement(t, 8, replication=3, seed=1)
+        for replicas in placements:
+            assert len(replicas) == 3
+            assert len(set(replicas)) == 3
+
+    def test_replication_capped_by_nodes(self):
+        t = topo(2, 1)
+        placements = rack_aware_placement(t, 4, replication=5, seed=0)
+        assert all(len(r) == 2 for r in placements)
+
+    def test_deterministic(self):
+        t = topo()
+        assert rack_aware_placement(t, 10, seed=4) == rack_aware_placement(
+            t, 10, seed=4
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rack_aware_placement(topo(), -1)
+        with pytest.raises(ValueError):
+            rack_aware_placement(topo(), 1, replication=0)
+
+
+class TestLocality:
+    def test_levels(self):
+        t = topo(8, 4)
+        assert read_locality(t, 0, [0, 5]) is Locality.NODE_LOCAL
+        assert read_locality(t, 1, [0, 5]) is Locality.RACK_LOCAL
+        assert read_locality(t, 6, [0, 1]) is Locality.OFF_RACK
+
+    def test_empty_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            read_locality(topo(), 0, [])
+
+    def test_read_time_ordering(self):
+        """node-local <= rack-local <= off-rack for the same bytes."""
+        t = topo(8, 4)
+        size = 64 * MB
+        node_local = read_seconds(t, 0, [0], size)
+        rack_local = read_seconds(t, 1, [0], size)
+        off_rack = read_seconds(t, 6, [0], size)
+        assert node_local <= rack_local <= off_rack
+        assert off_rack == size / t.cross_rack_bandwidth
+
+    def test_profile_totals(self):
+        t = topo(8, 4)
+        placements = rack_aware_placement(t, 20, seed=2)
+        readers = [block % t.num_nodes for block in range(20)]
+        profile = locality_profile(t, placements, readers, 64 * MB)
+        assert sum(profile.values()) == 20 * 64 * MB
+        # The writer-rotation makes every read node-local here.
+        assert profile[Locality.NODE_LOCAL] == 20 * 64 * MB
+
+    def test_profile_with_shifted_readers(self):
+        t = topo(8, 4)
+        placements = rack_aware_placement(t, 20, seed=2)
+        readers = [(block + 1) % t.num_nodes for block in range(20)]
+        profile = locality_profile(t, placements, readers, 64 * MB)
+        assert profile[Locality.NODE_LOCAL] < 20 * 64 * MB
+
+    def test_mismatched_lengths_rejected(self):
+        t = topo()
+        with pytest.raises(ValueError):
+            locality_profile(t, [[0]], [0, 1], 10)

@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.block import BlockScheme
+from repro.core.broadcast import BroadcastScheme
+from repro.core.design import DesignScheme
+
+
+def abs_diff(a, b):
+    """Module-level symmetric pair function (picklable for MP engines)."""
+    return abs(a - b)
+
+
+def pair_tuple(a, b):
+    """Pair function whose result records its (sorted) inputs — makes the
+    evaluated pair identifiable in result maps."""
+    return (min(a, b), max(a, b))
+
+
+@pytest.fixture
+def small_dataset():
+    """23 scalar payloads — small enough for brute force, big enough for
+    non-trivial block/design structure."""
+    return [float((x * 7 + 3) % 23) for x in range(23)]
+
+
+@pytest.fixture(params=["broadcast", "block", "block-paired", "design"])
+def any_scheme(request):
+    """One instance of every scheme family over v=23."""
+    v = 23
+    if request.param == "broadcast":
+        return BroadcastScheme(v, num_tasks=5)
+    if request.param == "block":
+        return BlockScheme(v, h=4)
+    if request.param == "block-paired":
+        return BlockScheme(v, h=4, pair_diagonals=True)
+    return DesignScheme(v)

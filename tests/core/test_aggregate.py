@@ -1,0 +1,118 @@
+"""Aggregator strategy tests (Algorithm 2's aggregateResults)."""
+
+import pytest
+
+from repro.core.aggregate import (
+    ConcatAggregator,
+    ReduceAggregator,
+    ThresholdAggregator,
+    TopKAggregator,
+    count_neighbors,
+)
+from repro.core.element import DuplicatePairError, Element
+
+
+def _copies(results_per_copy):
+    """Build copies of element 1 with the given per-copy result maps."""
+    out = []
+    for results in results_per_copy:
+        e = Element(1, "payload")
+        for partner, value in results.items():
+            e.add_result(partner, value)
+        out.append(e)
+    return out
+
+
+class TestConcat:
+    def test_merges_disjoint(self):
+        merged = ConcatAggregator()(_copies([{2: 0.1}, {3: 0.2}, {4: 0.3}]))
+        assert merged.results == {2: 0.1, 3: 0.2, 4: 0.3}
+
+    def test_error_on_duplicates(self):
+        with pytest.raises(DuplicatePairError):
+            ConcatAggregator()(_copies([{2: 0.1}, {2: 0.2}]))
+
+    def test_keep_policy(self):
+        merged = ConcatAggregator(on_duplicate="keep")(_copies([{2: 0.1}, {2: 0.2}]))
+        assert merged.results == {2: 0.1}
+
+
+class TestThreshold:
+    def test_keep_below(self):
+        agg = ThresholdAggregator(0.5, keep_below=True)
+        merged = agg(_copies([{2: 0.1, 3: 0.9}, {4: 0.5}]))
+        assert merged.results == {2: 0.1}  # 0.5 is not < 0.5
+
+    def test_keep_above(self):
+        agg = ThresholdAggregator(0.5, keep_below=False)
+        merged = agg(_copies([{2: 0.1, 3: 0.9}]))
+        assert merged.results == {3: 0.9}
+
+    def test_key_extractor(self):
+        agg = ThresholdAggregator(1.0, keep_below=True, key=lambda v: v["d"])
+        merged = agg(_copies([{2: {"d": 0.4}, 3: {"d": 2.0}}]))
+        assert merged.results == {2: {"d": 0.4}}
+
+
+class TestTopK:
+    def test_k_smallest(self):
+        agg = TopKAggregator(2, smallest=True)
+        merged = agg(_copies([{2: 5.0, 3: 1.0}, {4: 3.0, 5: 0.5}]))
+        assert merged.results == {5: 0.5, 3: 1.0}
+
+    def test_k_largest(self):
+        agg = TopKAggregator(1, smallest=False)
+        merged = agg(_copies([{2: 5.0, 3: 1.0}]))
+        assert merged.results == {2: 5.0}
+
+    def test_ties_break_on_partner_id(self):
+        agg = TopKAggregator(1, smallest=True)
+        merged = agg(_copies([{3: 1.0, 2: 1.0}]))
+        assert merged.results == {2: 1.0}
+
+    def test_k_larger_than_results(self):
+        agg = TopKAggregator(10)
+        merged = agg(_copies([{2: 1.0}]))
+        assert merged.results == {2: 1.0}
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            TopKAggregator(0)
+
+
+class TestReduce:
+    def test_sum(self):
+        import operator
+
+        agg = ReduceAggregator(operator.add)
+        merged = agg(_copies([{2: 1.0, 3: 2.0}, {4: 3.0}]))
+        assert merged.results == {0: 6.0}
+
+    def test_initial_value(self):
+        import operator
+
+        agg = ReduceAggregator(operator.add, initial=100.0)
+        merged = agg(_copies([{2: 1.0}]))
+        assert merged.results == {0: 101.0}
+
+    def test_max(self):
+        agg = ReduceAggregator(max)
+        merged = agg(_copies([{2: 1.0, 3: 7.0}, {4: 3.0}]))
+        assert merged.results == {0: 7.0}
+
+    def test_empty_results(self):
+        import operator
+
+        agg = ReduceAggregator(operator.add)
+        merged = agg([Element(1, "p")])
+        assert merged.results == {0: None}
+
+
+class TestCountNeighbors:
+    def test_counts(self):
+        merged = count_neighbors(_copies([{2: 0.1}, {3: 0.2, 4: 0.3}]))
+        assert merged.results == {0: 3}
+
+    def test_payload_preserved(self):
+        merged = count_neighbors(_copies([{2: 0.1}]))
+        assert merged.payload == "payload"

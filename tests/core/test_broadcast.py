@@ -1,0 +1,103 @@
+"""Broadcast scheme tests (§5.1)."""
+
+import pytest
+
+from repro.core.broadcast import BroadcastScheme
+from repro.core.triangle import total_pairs
+from repro.core.validate import assert_valid_scheme, balance_report
+
+
+class TestConstruction:
+    def test_rejects_tiny_v(self):
+        with pytest.raises(ValueError):
+            BroadcastScheme(1, 1)
+
+    def test_rejects_zero_tasks(self):
+        with pytest.raises(ValueError):
+            BroadcastScheme(10, 0)
+
+    def test_chunk_is_ceiling(self):
+        s = BroadcastScheme(10, 4)  # 45 pairs over 4 tasks
+        assert s.chunk == 12
+
+
+class TestSubsets:
+    def test_every_element_everywhere(self):
+        s = BroadcastScheme(6, 3)
+        for eid in range(1, 7):
+            assert s.get_subsets(eid) == [0, 1, 2]
+
+    def test_subset_members_is_whole_dataset(self):
+        s = BroadcastScheme(6, 3)
+        assert s.subset_members(1) == [1, 2, 3, 4, 5, 6]
+
+    def test_id_bounds_enforced(self):
+        s = BroadcastScheme(6, 3)
+        with pytest.raises(ValueError):
+            s.get_subsets(0)
+        with pytest.raises(ValueError):
+            s.get_subsets(7)
+        with pytest.raises(ValueError):
+            s.get_pairs(3)
+
+
+class TestPairs:
+    def test_contiguous_label_chunks(self):
+        s = BroadcastScheme(7, 3)  # 21 pairs, h = 7
+        assert s.task_labels(0) == range(1, 8)
+        assert s.task_labels(1) == range(8, 15)
+        assert s.task_labels(2) == range(15, 22)
+
+    def test_paper_first_node_rule(self):
+        """Node 1 evaluates pairs 1..h with h = ⌈v(v−1)/(2n)⌉."""
+        v, n = 50, 8
+        s = BroadcastScheme(v, n)
+        h = -(-total_pairs(v) // n)
+        assert list(s.task_labels(0)) == list(range(1, h + 1))
+
+    def test_last_task_may_be_short(self):
+        s = BroadcastScheme(5, 3)  # 10 pairs, h = 4 → chunks 4,4,2
+        assert [len(s.task_labels(t)) for t in range(3)] == [4, 4, 2]
+
+    def test_members_argument_ignored(self):
+        s = BroadcastScheme(5, 2)
+        assert s.get_pairs(0, [1, 2]) == s.get_pairs(0)
+
+
+class TestValidity:
+    @pytest.mark.parametrize("v,n", [(2, 1), (7, 7), (10, 3), (23, 5), (9, 40)])
+    def test_exactly_once(self, v, n):
+        assert_valid_scheme(BroadcastScheme(v, n))
+
+    def test_balance(self):
+        report = balance_report(BroadcastScheme(40, 6))
+        assert report.evals_max - report.evals_min <= report.evals_max
+        assert report.ws_min == report.ws_max == 40  # full replication
+        assert report.replication_mean == 6
+
+
+class TestMetricsAndExtras:
+    def test_table1_row(self):
+        m = BroadcastScheme(100, 10).metrics()
+        assert m.num_tasks == 10
+        assert m.communication_records == 2 * 100 * 10
+        assert m.replication_factor == 10
+        assert m.working_set_elements == 100
+        assert m.evaluations_per_task == total_pairs(100) / 10
+
+    def test_effective_working_set_smaller_than_shipped(self):
+        """A task's label chunk touches far fewer elements than v for many tasks."""
+        s = BroadcastScheme(100, 50)
+        effective = s.effective_working_set(0)
+        assert len(effective) < 100
+        assert effective <= set(range(1, 101))
+
+    def test_describe_mentions_chunk(self):
+        assert "pairs/task" in BroadcastScheme(10, 2).describe()
+
+    def test_task_profile_matches_enumeration(self):
+        s = BroadcastScheme(23, 4)
+        for t in range(4):
+            profile = s.task_profile(t)
+            assert profile.num_members == 23
+            assert profile.num_evaluations == len(s.get_pairs(t))

@@ -1,0 +1,95 @@
+"""Scheme-chooser tests: the Fig 9b decision logic."""
+
+import pytest
+
+from repro._util import GB, KB, MB, TB
+from repro.core.block import BlockScheme
+from repro.core.broadcast import BroadcastScheme
+from repro.core.chooser import InfeasibleWorkloadError, choose_scheme
+from repro.core.cost_model import block_h_bounds
+from repro.core.design import DesignScheme
+from repro.core.hierarchical import HierarchicalBlockScheme
+
+LIMITS = dict(maxws=200 * MB, maxis=1 * TB)
+
+
+class TestDecisions:
+    def test_small_dataset_broadcast(self):
+        choice = choose_scheme(1000, 50 * KB, **LIMITS)
+        assert isinstance(choice.scheme, BroadcastScheme)
+        assert not choice.is_hierarchical
+
+    def test_medium_dataset_block(self):
+        choice = choose_scheme(50_000, 100 * KB, **LIMITS)
+        assert isinstance(choice.scheme, BlockScheme)
+        bounds = block_h_bounds(50_000 * 100 * KB, **LIMITS)
+        assert bounds.h_min <= choice.scheme.h_requested <= bounds.h_max
+
+    def test_huge_dataset_hierarchical(self):
+        choice = choose_scheme(5_000, 10 * MB, **LIMITS)
+        assert isinstance(choice.scheme, HierarchicalBlockScheme)
+        assert choice.is_hierarchical
+
+    def test_design_when_block_infeasible(self):
+        # vs = 2500 × 1 MB = 2.5 GB; block needs vs ≤ sqrt(maxws·maxis/2)
+        # = sqrt(50 MB · 200 GB / 2) ≈ 2.24 GB → infeasible.  Design:
+        # storage v^{3/2}·s = 125 GB ≤ 200 GB and ws √v·s = 50 MB ≤ maxws.
+        choice = choose_scheme(
+            2_500, 1 * MB, maxws=50 * MB, maxis=200 * GB, num_nodes=8
+        )
+        assert isinstance(choice.scheme, DesignScheme)
+
+    def test_chosen_scheme_respects_limits(self):
+        """Whatever is chosen must actually fit the limits it was given."""
+        for v, s in [(500, 100 * KB), (20_000, 200 * KB), (3_000, 2 * MB)]:
+            choice = choose_scheme(v, s, **LIMITS)
+            if isinstance(choice.scheme, HierarchicalBlockScheme):
+                assert choice.scheme.max_working_set() * s <= LIMITS["maxws"]
+            elif isinstance(choice.scheme, DesignScheme):
+                m = choice.scheme.metrics()
+                assert m.working_set_bytes(s) <= LIMITS["maxws"]
+                assert m.intermediate_bytes(s) <= LIMITS["maxis"] * 1.05
+            else:
+                m = choice.scheme.metrics()
+                assert m.working_set_bytes(s) <= LIMITS["maxws"]
+                assert m.intermediate_bytes(s) <= LIMITS["maxis"]
+
+    def test_min_tasks_raises_parallelism(self):
+        low = choose_scheme(2_000, 500 * KB, min_tasks=4, **LIMITS)
+        high = choose_scheme(2_000, 500 * KB, min_tasks=300, **LIMITS)
+        def tasks(choice):
+            scheme = choice.scheme
+            if isinstance(scheme, HierarchicalBlockScheme):
+                return max(len(r.tasks) for r in scheme.rounds())
+            return scheme.num_tasks
+        assert tasks(high) >= 300 or isinstance(high.scheme, DesignScheme)
+        assert tasks(low) >= 4
+
+    def test_infeasible_raises(self):
+        with pytest.raises(InfeasibleWorkloadError):
+            # Each element alone exceeds a task slot: nothing can fit.
+            choose_scheme(100, 10 * GB, maxws=1 * MB, maxis=1 * GB, max_rounds=50)
+
+    def test_rationale_populated(self):
+        choice = choose_scheme(50_000, 100 * KB, **LIMITS)
+        text = choice.explain()
+        assert "block" in text and "maxws" in text
+
+
+class TestValidation:
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            choose_scheme(1, 100, **LIMITS)
+        with pytest.raises(ValueError):
+            choose_scheme(10, 0, **LIMITS)
+        with pytest.raises(ValueError):
+            choose_scheme(10, 100, maxws=0, maxis=1)
+        with pytest.raises(ValueError):
+            choose_scheme(10, 100, num_nodes=0, **LIMITS)
+
+    def test_prime_power_passthrough(self):
+        choice = choose_scheme(
+            21, 1 * MB, maxws=6 * MB, maxis=100 * TB, allow_prime_powers=True
+        )
+        if isinstance(choice.scheme, DesignScheme):
+            assert choice.scheme.q == 4

@@ -1,0 +1,70 @@
+"""Chooser edge-branch tests: the fall-through paths."""
+
+import pytest
+
+from repro._util import GB, KB, MB, TB
+from repro.core.block import BlockScheme
+from repro.core.broadcast import BroadcastScheme
+from repro.core.chooser import choose_scheme
+from repro.core.runner import auto_pairwise
+
+
+class TestBroadcastMaxisFallthrough:
+    def test_broadcast_skipped_when_intermediate_blows_maxis(self):
+        # Dataset fits a slot (10 MB), but p-fold replication (16×10 MB)
+        # exceeds a pathologically small maxis → falls through to block.
+        choice = choose_scheme(
+            100, 100 * KB, maxws=200 * MB, maxis=50 * MB, num_nodes=8
+        )
+        assert not isinstance(choice.scheme, BroadcastScheme)
+        assert any("exceed maxis" in line for line in choice.rationale)
+
+
+class TestDiscreteWorkingSetBump:
+    def test_h_bumped_past_ceiling_rounding(self):
+        """When 2⌈v/h_min⌉·s > maxws due to rounding, h rises until the
+        discrete working set fits."""
+        # v=10000, s=1MB, maxws=25MB: analytic h_min=800 gives e=13 →
+        # 26 MB > 25 MB; the chooser must end at h with 2⌈v/h⌉ ≤ 25.
+        choice = choose_scheme(
+            10_000, 1 * MB, maxws=25 * MB, maxis=100 * TB, num_nodes=8
+        )
+        assert isinstance(choice.scheme, BlockScheme)
+        scheme = choice.scheme
+        assert 2 * scheme.e * 1 * MB <= 25 * MB
+
+
+class TestRunnerEdges:
+    def test_asymmetric_hierarchical_rejected(self):
+        from repro.mapreduce import SizedPayload
+
+        data = [SizedPayload(40 * MB, tag=i) for i in range(30)]
+        with pytest.raises(NotImplementedError):
+            auto_pairwise(
+                data,
+                lambda a, b: a.tag - b.tag,
+                maxws=100 * MB,
+                maxis=600 * MB,
+                symmetric=False,
+            )
+
+    def test_asymmetric_flat_works(self):
+        data = [float(x) for x in range(10)]
+        merged, choice = auto_pairwise(
+            data, lambda a, b: a - b, symmetric=False
+        )
+        from repro.core.element import ordered_results
+
+        results = ordered_results(merged)
+        assert results[(3, 7)] == -4.0
+        assert results[(7, 3)] == 4.0
+
+    def test_explicit_element_size_overrides_estimate(self):
+        data = [0.0, 1.0, 2.0]
+        _merged, small = auto_pairwise(data, lambda a, b: a - b)
+        _merged, large = auto_pairwise(
+            data, lambda a, b: a - b, element_size=80 * MB
+        )
+        # Small payloads → broadcast; declared 150 MB → not broadcast.
+        assert small.scheme.name == "broadcast"
+        assert large.scheme.name != "broadcast"

@@ -1,0 +1,196 @@
+"""Cost-model tests: Table 1 closed forms and the Fig 8/9 feasibility curves."""
+
+import math
+
+import pytest
+
+from repro._util import GB, KB, MB, TB
+from repro.core.block import BlockScheme
+from repro.core.broadcast import BroadcastScheme
+from repro.core.cost_model import (
+    PAPER_MAXIS,
+    PAPER_MAXWS,
+    block_h_bounds,
+    block_row,
+    broadcast_row,
+    design_block_crossover,
+    design_row,
+    fig9b_curves,
+    log_spaced_sizes,
+    max_dataset_bytes_block,
+    max_v_block,
+    max_v_broadcast,
+    max_v_design,
+    max_v_design_memory,
+    max_v_design_storage,
+    table1,
+)
+
+
+class TestTable1Rows:
+    def test_broadcast_row_formulas(self):
+        m = broadcast_row(1000, 20)
+        assert m.communication_records == 2 * 1000 * 20
+        assert m.replication_factor == 20
+        assert m.working_set_elements == 1000
+        assert m.evaluations_per_task == 1000 * 999 / 2 / 20
+
+    def test_block_row_formulas(self):
+        m = block_row(1000, 10)
+        assert m.num_tasks == 55
+        assert m.communication_records == 2 * 1000 * 10
+        assert m.working_set_elements == 200
+        assert m.evaluations_per_task == 100 * 100
+
+    def test_design_row_formulas(self):
+        m = design_row(10_000)
+        assert m.replication_factor == pytest.approx(100.0)
+        assert m.working_set_elements == 100
+        assert m.evaluations_per_task == pytest.approx(4999.5)
+
+    def test_design_row_node_cap(self):
+        capped = design_row(10_000, num_nodes=8)
+        assert capped.communication_records == 2 * 10_000 * 8
+
+    def test_rows_match_scheme_metrics(self):
+        """The closed forms must agree with the schemes' own metrics()."""
+        assert broadcast_row(100, 5) == BroadcastScheme(100, 5).metrics()
+        assert block_row(100, 5) == BlockScheme(100, 5).metrics()
+
+    def test_table1_bundle(self):
+        rows = table1(100, p=4, h=5)
+        assert [m.scheme for m in rows] == ["broadcast", "block", "design"]
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            broadcast_row(1, 1)
+        with pytest.raises(ValueError):
+            block_row(10, 0)
+        with pytest.raises(ValueError):
+            design_row(1)
+
+
+class TestBytesHelpers:
+    def test_metric_byte_conversions(self):
+        m = block_row(1000, 10)
+        assert m.communication_bytes(500 * KB) == 2 * 1000 * 10 * 500 * KB
+        assert m.working_set_bytes(500 * KB) == 200 * 500 * KB
+        assert m.intermediate_bytes(500 * KB) == 1000 * 500 * KB * 10
+
+    def test_summary_contains_key_numbers(self):
+        text = block_row(1000, 10).summary(500 * KB)
+        assert "repl=10" in text and "tasks=55" in text
+
+
+class TestFig8aBroadcastLimit:
+    def test_formula(self):
+        # 200 MB / 100 KB = 2000 elements.
+        assert max_v_broadcast(100 * KB, 200 * MB) == 2000
+
+    @pytest.mark.parametrize("maxws", [200 * MB, 400 * MB, 1 * GB])
+    def test_monotone_decreasing_in_element_size(self, maxws):
+        sizes = log_spaced_sizes(10 * KB, 10 * MB)
+        values = [max_v_broadcast(s, maxws) for s in sizes]
+        assert values == sorted(values, reverse=True)
+
+    def test_larger_memory_allows_more(self):
+        assert max_v_broadcast(100 * KB, 1 * GB) > max_v_broadcast(100 * KB, 200 * MB)
+
+
+class TestFig8bDesignLimit:
+    def test_formula(self):
+        # (1 TB / 1 MB)^(2/3) = (10^6)^(2/3) = 10^4.
+        assert max_v_design_storage(1 * MB, 1 * TB) == 10_000
+
+    def test_memory_variant(self):
+        # (200 MB / 10 MB)² = 400.
+        assert max_v_design_memory(10 * MB, 200 * MB) == 400
+
+    def test_combined_takes_minimum(self):
+        s = 10 * MB
+        assert max_v_design(s, PAPER_MAXIS, PAPER_MAXWS) == min(
+            max_v_design_storage(s, PAPER_MAXIS),
+            max_v_design_memory(s, PAPER_MAXWS),
+        )
+
+    @pytest.mark.parametrize("maxis", [100 * GB, 1 * TB, 10 * TB])
+    def test_monotone(self, maxis):
+        sizes = log_spaced_sizes(10 * KB, 10 * MB)
+        values = [max_v_design_storage(s, maxis) for s in sizes]
+        assert values == sorted(values, reverse=True)
+
+
+class TestFig9aBlockBounds:
+    def test_paper_4gb_example(self):
+        """§6: a 4 GB dataset gives h roughly in [39, 263] (decimal units
+        land on [40, 250]; the paper read its values off a log chart)."""
+        bounds = block_h_bounds(4 * GB, PAPER_MAXWS, PAPER_MAXIS)
+        assert bounds.feasible
+        assert 35 <= bounds.h_min <= 45
+        assert 240 <= bounds.h_max <= 270
+
+    def test_bounds_satisfy_both_limits(self):
+        vs = 2 * GB
+        bounds = block_h_bounds(vs, PAPER_MAXWS, PAPER_MAXIS)
+        # h_min honours maxws, h_max honours maxis.
+        assert 2 * vs / bounds.h_min <= PAPER_MAXWS
+        assert vs * bounds.h_max <= PAPER_MAXIS
+
+    def test_infeasible_beyond_intersection(self):
+        limit = max_dataset_bytes_block(PAPER_MAXWS, PAPER_MAXIS)
+        assert block_h_bounds(limit, PAPER_MAXWS, PAPER_MAXIS).feasible
+        assert not block_h_bounds(2 * limit + 10, PAPER_MAXWS, PAPER_MAXIS).feasible
+
+    def test_intersection_value(self):
+        """sqrt(200 MB · 1 TB / 2) = 10 GB."""
+        assert max_dataset_bytes_block(PAPER_MAXWS, PAPER_MAXIS) == 10 * GB
+
+    def test_small_dataset_h_min_clamped_to_one(self):
+        bounds = block_h_bounds(10 * MB, PAPER_MAXWS, PAPER_MAXIS)
+        assert bounds.h_min == 1
+
+
+class TestFig9bComparison:
+    def test_crossover_at_one_megabyte(self):
+        """The paper: block and design cross near 1 MB element size."""
+        assert design_block_crossover() == pytest.approx(1 * MB, rel=1e-6)
+
+    def test_ordering_below_crossover(self):
+        """Small elements: block admits the most, broadcast the least."""
+        point = fig9b_curves([100 * KB])[0]
+        assert point.broadcast < point.design < point.block
+
+    def test_ordering_above_crossover(self):
+        """Large elements (>1 MB): design allows a few more than block."""
+        point = fig9b_curves([10 * MB])[0]
+        assert point.design > point.block > point.broadcast
+
+    def test_strict_variant_never_higher(self):
+        for point in fig9b_curves(log_spaced_sizes(10 * KB, 10 * MB)):
+            assert point.design_strict <= point.design
+
+    def test_exact_values_at_1mb(self):
+        point = fig9b_curves([1 * MB])[0]
+        assert point.broadcast == 200
+        assert point.block == 10_000
+        assert point.design == pytest.approx(10_000, rel=1e-3)
+
+
+class TestHelpers:
+    def test_log_spaced_sizes_span(self):
+        sizes = log_spaced_sizes(10 * KB, 10 * MB)
+        assert sizes[0] == 10 * KB
+        assert sizes[-1] == 10 * MB
+        assert all(a < b for a, b in zip(sizes, sizes[1:]))
+
+    def test_log_spaced_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            log_spaced_sizes(0, 100)
+        with pytest.raises(ValueError):
+            log_spaced_sizes(100, 10)
+
+    def test_size_guards(self):
+        with pytest.raises(ValueError):
+            max_v_broadcast(0, 100)
+        with pytest.raises(ValueError):
+            block_h_bounds(-1, 100, 100)

@@ -1,0 +1,102 @@
+"""Property-based validation: exactly-once coverage under random parameters.
+
+These are the paper's formal demands (§5) tested as universal properties:
+for *any* admissible (v, parameters), every scheme must cover each pair
+exactly once, keep all pairs locally servable, and agree between its
+map-side (get_subsets) and reduce-side (subset_members) views.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.block import BlockScheme
+from repro.core.broadcast import BroadcastScheme
+from repro.core.design import DesignScheme
+from repro.core.hierarchical import (
+    HierarchicalBlockScheme,
+    SequentialDesignSchedule,
+    check_schedule_exactly_once,
+)
+from repro.core.validate import balance_report, check_exactly_once
+
+# Keep v modest: the checker is O(v²) and hypothesis runs many examples.
+SMALL_V = st.integers(min_value=2, max_value=40)
+
+
+@given(v=SMALL_V, n=st.integers(min_value=1, max_value=20))
+@settings(max_examples=40, deadline=None)
+def test_broadcast_exactly_once(v, n):
+    report = check_exactly_once(BroadcastScheme(v, n))
+    assert report.ok, report
+
+
+@given(v=SMALL_V, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_block_exactly_once(v, data):
+    h = data.draw(st.integers(min_value=1, max_value=v))
+    report = check_exactly_once(BlockScheme(v, h))
+    assert report.ok, report
+
+
+@given(v=SMALL_V, data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_block_paired_diagonals_exactly_once(v, data):
+    h = data.draw(st.integers(min_value=1, max_value=v))
+    report = check_exactly_once(BlockScheme(v, h, pair_diagonals=True))
+    assert report.ok, report
+
+
+@given(v=SMALL_V, prime_powers=st.booleans())
+@settings(max_examples=30, deadline=None)
+def test_design_exactly_once(v, prime_powers):
+    report = check_exactly_once(DesignScheme(v, allow_prime_powers=prime_powers))
+    assert report.ok, report
+
+
+@given(v=SMALL_V, data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_hierarchical_block_exactly_once(v, data):
+    coarse = data.draw(st.integers(min_value=1, max_value=v))
+    fine = data.draw(st.integers(min_value=1, max_value=8))
+    ok, msg = check_schedule_exactly_once(HierarchicalBlockScheme(v, coarse, fine))
+    assert ok, msg
+
+
+@given(v=SMALL_V, rounds=st.integers(min_value=1, max_value=10))
+@settings(max_examples=20, deadline=None)
+def test_sequential_design_exactly_once(v, rounds):
+    schedule = SequentialDesignSchedule(DesignScheme(v), rounds)
+    ok, msg = check_schedule_exactly_once(schedule)
+    assert ok, msg
+
+
+@given(v=st.integers(min_value=4, max_value=40), data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_block_replication_is_h(v, data):
+    """Table-1 invariant: every element is replicated exactly h times."""
+    h = data.draw(st.integers(min_value=1, max_value=v))
+    scheme = BlockScheme(v, h)
+    report = balance_report(scheme)
+    assert report.replication_min == report.replication_max == scheme.h
+
+
+@given(v=SMALL_V, n=st.integers(min_value=1, max_value=15))
+@settings(max_examples=25, deadline=None)
+def test_broadcast_total_evaluations(v, n):
+    """The chunks always sum to exactly v(v−1)/2 evaluations."""
+    scheme = BroadcastScheme(v, n)
+    total = sum(
+        scheme.task_profile(t).num_evaluations for t in range(scheme.num_tasks)
+    )
+    assert total == v * (v - 1) // 2
+
+
+@given(v=SMALL_V)
+@settings(max_examples=25, deadline=None)
+def test_design_evaluations_sum(v):
+    """Design blocks' internal pairs also sum to the full triangle."""
+    scheme = DesignScheme(v)
+    total = sum(
+        scheme.task_profile(t).num_evaluations for t in range(scheme.num_tasks)
+    )
+    assert total == v * (v - 1) // 2

@@ -1,0 +1,103 @@
+"""CyclicDesignScheme tests: the O(√v)-memory design scheme."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.design import CyclicDesignScheme, DesignScheme
+from repro.core.element import results_matrix
+from repro.core.pairwise import PairwiseComputation, brute_force_results, pairwise_results
+from repro.core.validate import assert_valid_scheme, check_exactly_once
+
+from ..conftest import abs_diff
+
+
+class TestConstruction:
+    def test_prime_power_default(self):
+        # v=21 fits the order-4 plane; the cyclic scheme takes it by default.
+        assert CyclicDesignScheme(21).q == 4
+        assert CyclicDesignScheme(21, allow_prime_powers=False).q == 5
+
+    def test_no_blocks_materialized(self):
+        scheme = CyclicDesignScheme(57)
+        assert not hasattr(scheme, "blocks")
+        assert len(scheme.difference_set) == 8  # q+1 residues — that's all
+
+    def test_describe(self):
+        assert "|D|=8" in CyclicDesignScheme(57).describe()
+
+
+class TestEquivalenceWithStoredBlocks:
+    @pytest.mark.parametrize("v", [7, 13, 31, 57])
+    def test_metrics_match_on_exact_planes(self, v):
+        cyclic = CyclicDesignScheme(v, allow_prime_powers=False).metrics()
+        stored = DesignScheme(v).metrics()
+        assert cyclic.num_tasks == stored.num_tasks
+        assert cyclic.replication_factor == stored.replication_factor
+        assert cyclic.working_set_elements == stored.working_set_elements
+        assert cyclic.evaluations_per_task == stored.evaluations_per_task
+
+    def test_truncated_pair_totals_agree(self):
+        """Truncation interacts with each construction's point labelling,
+        so block-size *profiles* differ — but both must still cover
+        exactly C(v,2) pairs (Σ C(k,2) over blocks is invariant)."""
+        v = 40
+        cyclic = CyclicDesignScheme(v, allow_prime_powers=False)
+        stored = DesignScheme(v)
+
+        def total_pairs(scheme):
+            return sum(
+                scheme.task_profile(t).num_evaluations
+                for t in range(scheme.num_tasks)
+            )
+
+        assert total_pairs(cyclic) == total_pairs(stored) == v * (v - 1) // 2
+
+
+class TestValidity:
+    @pytest.mark.parametrize("v", [2, 7, 12, 21, 23, 40, 57, 73])
+    def test_exactly_once(self, v):
+        assert_valid_scheme(CyclicDesignScheme(v))
+
+    @given(v=st.integers(min_value=2, max_value=45))
+    @settings(max_examples=20, deadline=None)
+    def test_property_exactly_once(self, v):
+        report = check_exactly_once(CyclicDesignScheme(v))
+        assert report.ok, report
+
+
+class TestPipeline:
+    def test_matches_brute_force(self, small_dataset):
+        got = pairwise_results(small_dataset, abs_diff, CyclicDesignScheme(23))
+        assert got == brute_force_results(small_dataset, abs_diff)
+
+    def test_run_local(self, small_dataset):
+        computation = PairwiseComputation(CyclicDesignScheme(23), abs_diff)
+        local = results_matrix(computation.run_local(small_dataset))
+        assert local == brute_force_results(small_dataset, abs_diff)
+
+    def test_mismatched_members_raise(self):
+        scheme = CyclicDesignScheme(13)
+        task = scheme.get_subsets(1)[0]
+        with pytest.raises(ValueError):
+            scheme.get_pairs(task, [1, 999])
+
+
+class TestTaskProfiles:
+    def test_profiles_match_enumeration(self):
+        scheme = CyclicDesignScheme(40)
+        for t in range(scheme.num_tasks):
+            profile = scheme.task_profile(t)
+            members = scheme.subset_members(t)
+            assert profile.num_members == len(members)
+            assert profile.num_evaluations == len(scheme.get_pairs(t, members))
+
+    def test_empty_tasks_have_no_work(self):
+        # Truncate far below the plane: many blocks lose all/most points.
+        scheme = CyclicDesignScheme(8, allow_prime_powers=False)  # plane 13
+        empties = [
+            t for t in range(scheme.num_tasks) if not scheme.subset_members(t)
+        ]
+        for t in empties:
+            assert scheme.get_pairs(t) == []
+            assert scheme.task_profile(t).num_evaluations == 0

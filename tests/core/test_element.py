@@ -1,0 +1,157 @@
+"""Element model tests: result storage, merging, §3 size arithmetic."""
+
+import pytest
+
+from repro._util import GB, KB
+from repro.core.element import (
+    DuplicatePairError,
+    Element,
+    dataset_size_bytes,
+    element_size_bytes,
+    make_elements,
+    merge_copies,
+    results_matrix,
+)
+
+
+class TestElement:
+    def test_one_indexed_ids(self):
+        with pytest.raises(ValueError):
+            Element(0)
+        assert Element(1).eid == 1
+
+    def test_add_result(self):
+        e = Element(1, "payload")
+        e.add_result(2, 0.5)
+        assert e.results == {2: 0.5}
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ValueError):
+            Element(3).add_result(3, 1.0)
+
+    def test_duplicate_partner_rejected(self):
+        e = Element(1)
+        e.add_result(2, 0.5)
+        with pytest.raises(DuplicatePairError):
+            e.add_result(2, 0.7)
+
+    def test_copy_without_results_shares_payload(self):
+        payload = [1, 2, 3]
+        e = Element(4, payload)
+        e.add_result(1, 0.1)
+        copy = e.copy_without_results()
+        assert copy.eid == 4
+        assert copy.payload is payload
+        assert copy.results == {}
+        assert e.results == {1: 0.1}  # original untouched
+
+
+class TestMergeCopies:
+    def _copies(self):
+        a = Element(1, "data")
+        a.add_result(2, 0.2)
+        b = Element(1, "data")
+        b.add_result(3, 0.3)
+        return a, b
+
+    def test_disjoint_merge(self):
+        merged = merge_copies(self._copies())
+        assert merged.results == {2: 0.2, 3: 0.3}
+        assert merged.payload == "data"
+
+    def test_duplicate_error_policy(self):
+        a, _ = self._copies()
+        b = Element(1)
+        b.add_result(2, 0.9)
+        with pytest.raises(DuplicatePairError):
+            merge_copies([a, b])
+
+    def test_duplicate_keep_policy(self):
+        a, _ = self._copies()
+        b = Element(1)
+        b.add_result(2, 0.9)
+        merged = merge_copies([a, b], on_duplicate="keep")
+        assert merged.results[2] == 0.2
+
+    def test_duplicate_combine_policy(self):
+        a, _ = self._copies()
+        b = Element(1)
+        b.add_result(2, 0.9)
+        merged = merge_copies([a, b], on_duplicate="combine", combine=max)
+        assert merged.results[2] == 0.9
+
+    def test_combine_requires_function(self):
+        with pytest.raises(ValueError):
+            merge_copies([Element(1)], on_duplicate="combine")
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            merge_copies([Element(1)], on_duplicate="whatever")
+
+    def test_different_ids_rejected(self):
+        with pytest.raises(ValueError):
+            merge_copies([Element(1), Element(2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_copies([])
+
+    def test_payload_backfilled_from_later_copy(self):
+        a = Element(1, None)
+        b = Element(1, "late payload")
+        assert merge_copies([a, b]).payload == "late payload"
+
+    def test_original_copies_not_mutated(self):
+        a, b = self._copies()
+        merge_copies([a, b])
+        assert a.results == {2: 0.2}
+        assert b.results == {3: 0.3}
+
+
+class TestSizeArithmetic:
+    def test_paper_example(self):
+        """§3: 10,000 × 500 KB elements → each ≈650 KB after, ≈6.5 GB total."""
+        per_element = element_size_bytes(500 * KB, 9_999)
+        assert per_element == 500 * KB + 9_999 * 16
+        assert abs(per_element - 650 * KB) < 11 * KB  # "about 650KB"
+        total = dataset_size_bytes(10_000, 500 * KB, with_results=True)
+        assert abs(total - 6.5 * GB) < 0.1 * GB  # "about 6.5GB"
+
+    def test_before_computation(self):
+        assert dataset_size_bytes(10_000, 500 * KB) == 5 * GB
+
+    def test_custom_widths(self):
+        assert element_size_bytes(0, 10, id_bytes=4, result_bytes=4) == 80
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            element_size_bytes(-1, 0)
+        with pytest.raises(ValueError):
+            dataset_size_bytes(-1, 10)
+
+
+class TestHelpers:
+    def test_make_elements(self):
+        elements = make_elements(["a", "b", "c"])
+        assert [e.eid for e in elements] == [1, 2, 3]
+        assert [e.payload for e in elements] == ["a", "b", "c"]
+
+    def test_results_matrix_canonicalizes(self):
+        a = Element(1)
+        a.add_result(2, 0.5)
+        b = Element(2)
+        b.add_result(1, 0.5)
+        assert results_matrix([a, b]) == {(2, 1): 0.5}
+
+    def test_results_matrix_detects_asymmetry(self):
+        a = Element(1)
+        a.add_result(2, 0.5)
+        b = Element(2)
+        b.add_result(1, 0.6)  # disagrees
+        with pytest.raises(ValueError):
+            results_matrix([a, b])
+
+    def test_results_matrix_accepts_mapping(self):
+        a = Element(1)
+        a.add_result(2, 1.5)
+        assert results_matrix({1: a}) == {(2, 1): 1.5}

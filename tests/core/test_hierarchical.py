@@ -1,0 +1,162 @@
+"""Hierarchical schedule tests (§7 extensions)."""
+
+import pytest
+
+from repro.core.design import DesignScheme
+from repro.core.element import results_matrix
+from repro.core.hierarchical import (
+    HierarchicalBlockScheme,
+    SequentialDesignSchedule,
+    check_schedule_exactly_once,
+    hierarchical_block_limits,
+    hierarchical_max_dataset_bytes,
+    run_rounds,
+)
+from repro.core.pairwise import brute_force_results
+from repro._util import GB, MB, TB
+
+from ..conftest import abs_diff
+
+
+class TestHierarchicalBlock:
+    def test_round_count(self):
+        assert HierarchicalBlockScheme(40, 4, 2).num_rounds == 10
+
+    def test_rejects_bad_factors(self):
+        with pytest.raises(ValueError):
+            HierarchicalBlockScheme(10, 0, 2)
+        with pytest.raises(ValueError):
+            HierarchicalBlockScheme(10, 11, 2)
+        with pytest.raises(ValueError):
+            HierarchicalBlockScheme(10, 2, 0)
+
+    @pytest.mark.parametrize("v,H,f", [(23, 3, 2), (30, 5, 3), (9, 3, 3), (2, 1, 1)])
+    def test_exactly_once(self, v, H, f):
+        ok, msg = check_schedule_exactly_once(HierarchicalBlockScheme(v, H, f))
+        assert ok, msg
+
+    def test_peak_replicas_below_flat(self):
+        """The whole point of §7: per-round replicas ≪ total replicas."""
+        schedule = HierarchicalBlockScheme(60, 5, 2)
+        total = sum(r.replicas for r in schedule.rounds())
+        assert schedule.peak_round_replicas() < total / 3
+
+    def test_working_set_is_fine_grained(self):
+        schedule = HierarchicalBlockScheme(64, 4, 4)
+        # Coarse group has 16 elements, fine chunks 4 → tasks hold ≤ 8.
+        assert schedule.max_working_set() <= 8
+
+    def test_total_evaluations(self):
+        schedule = HierarchicalBlockScheme(30, 3, 2)
+        assert schedule.total_evaluations() == 30 * 29 // 2
+
+
+class TestSequentialDesign:
+    def test_round_partitioning(self):
+        design = DesignScheme(23)
+        schedule = SequentialDesignSchedule(design, 4)
+        task_total = sum(len(r.tasks) for r in schedule.rounds())
+        assert task_total == design.num_tasks
+
+    def test_rounds_clamped_to_tasks(self):
+        design = DesignScheme(7)  # 7 tasks
+        schedule = SequentialDesignSchedule(design, 100)
+        assert schedule.num_rounds == 7
+
+    def test_peak_replicas_scales_inversely(self):
+        design = DesignScheme(57)
+        flat = SequentialDesignSchedule(design, 1).peak_round_replicas()
+        split = SequentialDesignSchedule(design, 8).peak_round_replicas()
+        assert split <= flat / 4  # ≈ flat/8, generous margin
+
+    def test_rejects_bad_rounds(self):
+        with pytest.raises(ValueError):
+            SequentialDesignSchedule(DesignScheme(7), 0)
+
+
+class TestRunRounds:
+    @pytest.mark.parametrize(
+        "schedule_factory",
+        [
+            lambda: HierarchicalBlockScheme(23, 3, 2),
+            lambda: HierarchicalBlockScheme(23, 4, 4),
+            lambda: SequentialDesignSchedule(DesignScheme(23), 5),
+        ],
+    )
+    def test_matches_brute_force(self, small_dataset, schedule_factory):
+        out = run_rounds(small_dataset, abs_diff, schedule_factory())
+        assert results_matrix(out) == brute_force_results(small_dataset, abs_diff)
+
+    def test_accepts_elements(self, small_dataset):
+        from repro.core.element import Element
+
+        elements = [Element(i + 1, p) for i, p in enumerate(small_dataset)]
+        out = run_rounds(elements, abs_diff, HierarchicalBlockScheme(23, 2, 2))
+        assert results_matrix(out) == brute_force_results(small_dataset, abs_diff)
+
+    def test_wrong_cardinality_rejected(self):
+        with pytest.raises(ValueError):
+            run_rounds([1.0], abs_diff, HierarchicalBlockScheme(23, 2, 2))
+
+
+class TestRunRoundsMR:
+    """§7 rounds executed as real two-MR-job runs per round."""
+
+    @pytest.mark.parametrize(
+        "schedule_factory",
+        [
+            lambda: HierarchicalBlockScheme(23, 3, 2),
+            lambda: HierarchicalBlockScheme(23, 5, 3),
+            lambda: SequentialDesignSchedule(DesignScheme(23), 4),
+        ],
+    )
+    def test_matches_brute_force(self, small_dataset, schedule_factory):
+        from repro.core.hierarchical import run_rounds_mr
+
+        out = run_rounds_mr(small_dataset, abs_diff, schedule_factory())
+        assert results_matrix(out) == brute_force_results(small_dataset, abs_diff)
+
+    def test_matches_in_process_rounds(self, small_dataset):
+        from repro.core.hierarchical import run_rounds_mr
+
+        schedule = HierarchicalBlockScheme(23, 4, 2)
+        mr = run_rounds_mr(small_dataset, abs_diff, schedule)
+        local = run_rounds(small_dataset, abs_diff, schedule)
+        assert results_matrix(mr) == results_matrix(local)
+
+    def test_multiprocess_engine(self, small_dataset):
+        from repro.core.hierarchical import run_rounds_mr
+        from repro.mapreduce import MultiprocessEngine
+
+        out = run_rounds_mr(
+            small_dataset,
+            abs_diff,
+            HierarchicalBlockScheme(23, 3, 2),
+            engine=MultiprocessEngine(2),
+        )
+        assert results_matrix(out) == brute_force_results(small_dataset, abs_diff)
+
+    def test_cardinality_check(self):
+        from repro.core.hierarchical import run_rounds_mr
+
+        with pytest.raises(ValueError):
+            run_rounds_mr([1.0], abs_diff, HierarchicalBlockScheme(23, 2, 2))
+
+
+class TestLimitModel:
+    def test_limits_shrink_with_coarse_factor(self):
+        small = hierarchical_block_limits(10_000, 2, 5, 500_000)
+        large = hierarchical_block_limits(10_000, 20, 5, 500_000)
+        assert large["working_set_bytes"] < small["working_set_bytes"]
+        assert large["round_intermediate_bytes"] < small["round_intermediate_bytes"]
+
+    def test_max_dataset_scales_with_h(self):
+        flat = hierarchical_max_dataset_bytes(200 * MB, 1 * TB, 1)
+        assert flat == pytest.approx(10 * GB)
+        assert hierarchical_max_dataset_bytes(200 * MB, 1 * TB, 8) == pytest.approx(
+            40 * GB
+        )
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            hierarchical_max_dataset_bytes(1, 1, 0)

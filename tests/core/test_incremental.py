@@ -1,0 +1,131 @@
+"""Incremental pairwise maintenance tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.incremental import IncrementalPairwise
+from repro.core.pairwise import brute_force_results
+
+from ..conftest import abs_diff
+
+
+class TestSingleBatch:
+    def test_first_batch_is_full_triangle(self):
+        inc = IncrementalPairwise(abs_diff)
+        report = inc.add_batch([1.0, 5.0, 2.0, 9.0])
+        assert report.cross_evaluations == 0
+        assert report.fresh_evaluations == 6
+        assert inc.results() == brute_force_results([1.0, 5.0, 2.0, 9.0], abs_diff)
+
+    def test_single_element_first_batch(self):
+        inc = IncrementalPairwise(abs_diff)
+        report = inc.add_batch([3.0])
+        assert report.evaluations == 0
+        assert inc.v == 1
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            IncrementalPairwise(abs_diff).add_batch([])
+
+
+class TestGrowth:
+    def test_matches_full_recompute(self):
+        data = [float((x * 7 + 1) % 23) for x in range(18)]
+        inc = IncrementalPairwise(abs_diff)
+        inc.add_batch(data[:5])
+        inc.add_batch(data[5:11])
+        inc.add_batch(data[11:])
+        assert inc.results() == brute_force_results(data, abs_diff)
+
+    def test_evaluation_counts_exact(self):
+        inc = IncrementalPairwise(abs_diff)
+        inc.add_batch([1.0] * 10)
+        report = inc.add_batch([2.0] * 4)
+        assert report.cross_evaluations == 10 * 4
+        assert report.fresh_evaluations == 4 * 3 // 2
+        assert report.total_elements == 14
+
+    def test_savings_grow_with_base(self):
+        inc = IncrementalPairwise(abs_diff)
+        inc.add_batch([float(x) for x in range(40)])
+        report = inc.add_batch([100.0, 101.0])
+        # 40·2 + 1 = 81 evaluations instead of C(42,2) = 861.
+        assert report.evaluations == 81
+        assert report.savings_vs_recompute() > 0.9
+
+    def test_ids_assigned_in_arrival_order(self):
+        inc = IncrementalPairwise(abs_diff)
+        inc.add_batch([10.0, 20.0])
+        inc.add_batch([30.0])
+        assert sorted(inc.elements) == [1, 2, 3]
+        assert inc.elements[3].payload == 30.0
+
+    def test_single_element_batches(self):
+        data = [float(x * 3 % 11) for x in range(7)]
+        inc = IncrementalPairwise(abs_diff)
+        for value in data:
+            inc.add_batch([value])
+        assert inc.results() == brute_force_results(data, abs_diff)
+
+    def test_old_results_never_recomputed(self):
+        calls = []
+
+        def counting_comp(a, b):
+            calls.append((a, b))
+            return abs(a - b)
+
+        inc = IncrementalPairwise(counting_comp)
+        inc.add_batch([1.0, 2.0, 3.0])
+        first = len(calls)
+        assert first == 3
+        inc.add_batch([4.0])
+        assert len(calls) - first == 3  # only the 3 cross pairs
+
+
+class TestCustomFactories:
+    def test_custom_flat_factory(self):
+        from repro.core.design import DesignScheme
+
+        inc = IncrementalPairwise(
+            abs_diff, flat_scheme_factory=lambda v: DesignScheme(v)
+        )
+        data = [float(x) for x in range(9)]
+        inc.add_batch(data)
+        assert inc.results() == brute_force_results(data, abs_diff)
+
+    def test_bad_factory_detected(self):
+        inc = IncrementalPairwise(
+            abs_diff, flat_scheme_factory=lambda v: __import__(
+                "repro.core.block", fromlist=["BlockScheme"]
+            ).BlockScheme(v + 1, 1)
+        )
+        with pytest.raises(ValueError):
+            inc.add_batch([1.0, 2.0])
+
+    def test_custom_cross_factors(self):
+        inc = IncrementalPairwise(abs_diff, cross_factors=lambda vr, vs: (2, 1))
+        inc.add_batch([1.0, 2.0, 3.0, 4.0])
+        inc.add_batch([5.0, 6.0])
+        assert inc.results() == brute_force_results(
+            [1.0, 2.0, 3.0, 4.0, 5.0, 6.0], abs_diff
+        )
+
+
+@given(
+    batches=st.lists(
+        st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1, max_size=6),
+        min_size=1,
+        max_size=4,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_property_any_batching_equals_recompute(batches):
+    """Invariant: however the data is batched, the final result map equals
+    the from-scratch computation over the concatenation."""
+    inc = IncrementalPairwise(abs_diff)
+    flattened = []
+    for batch in batches:
+        inc.add_batch(batch)
+        flattened.extend(batch)
+    assert inc.results() == brute_force_results(flattened, abs_diff)

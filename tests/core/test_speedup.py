@@ -1,0 +1,104 @@
+"""Speedup / efficiency model tests."""
+
+import pytest
+
+from repro._util import KB, MB
+from repro.core.cost_model import block_row, broadcast_row, design_row
+from repro.core.speedup import (
+    MachineModel,
+    max_useful_nodes,
+    predicted_makespan,
+    scalability_knee,
+    speedup_curve,
+)
+
+METRICS = block_row(2_000, 20)
+S = 100 * KB
+
+
+class TestMakespan:
+    def test_compute_scales_inversely(self):
+        c1, _ = predicted_makespan(METRICS, S, 1)
+        c4, _ = predicted_makespan(METRICS, S, 4)
+        assert c4 == pytest.approx(c1 / 4)
+
+    def test_comm_scales_inversely(self):
+        _, m1 = predicted_makespan(METRICS, S, 1)
+        _, m4 = predicted_makespan(METRICS, S, 4)
+        assert m4 == pytest.approx(m1 / 4)
+
+    def test_per_task_floor_binds(self):
+        """Huge clusters cannot beat the largest single task."""
+        machine = MachineModel()
+        compute, _ = predicted_makespan(METRICS, S, 10_000, machine)
+        floor = METRICS.evaluations_per_task * machine.eval_seconds
+        assert compute == pytest.approx(floor)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predicted_makespan(METRICS, S, 0)
+        with pytest.raises(ValueError):
+            predicted_makespan(METRICS, 0, 1)
+        with pytest.raises(ValueError):
+            MachineModel(eval_seconds=0)
+        with pytest.raises(ValueError):
+            MachineModel(slots_per_node=0)
+
+
+class TestSpeedupCurve:
+    def test_monotone_and_bounded(self):
+        points = speedup_curve(METRICS, S, [1, 2, 4, 8, 16])
+        speedups = [p.speedup for p in points]
+        assert speedups[0] == pytest.approx(1.0)
+        assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+        for p in points:
+            assert p.speedup <= p.nodes + 1e-9  # no super-linear speedup
+
+    def test_efficiency_declines(self):
+        points = speedup_curve(METRICS, S, [1, 4, 16, 64, 256])
+        efficiencies = [p.efficiency for p in points]
+        assert all(b <= a + 1e-9 for a, b in zip(efficiencies, efficiencies[1:]))
+
+    def test_comm_fraction_constant_here(self):
+        """Both terms scale 1/n for block below the floor — comm share flat."""
+        points = speedup_curve(METRICS, S, [1, 2, 4])
+        fractions = {round(p.comm_fraction, 9) for p in points}
+        assert len(fractions) == 1
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_curve(METRICS, S, [])
+
+
+class TestSchemeComparison:
+    def test_design_has_most_tasks_hence_longest_scaling(self):
+        """Table 1's task counts order the useful-parallelism ceilings."""
+        v = 2_000
+        broadcast = broadcast_row(v, 16)
+        block = block_row(v, 20)
+        design = design_row(v)
+        assert (
+            max_useful_nodes(broadcast)
+            < max_useful_nodes(block)
+            < max_useful_nodes(design)
+        )
+
+    def test_broadcast_compute_saturates_at_task_count(self):
+        """With p tasks, the compute term stops improving once slots ≈ p;
+        only the (smaller) communication term keeps shrinking, so the
+        overall knee follows within a small factor."""
+        broadcast = broadcast_row(500, 8)
+        ceiling = max_useful_nodes(broadcast)
+        at_ceiling, _ = predicted_makespan(broadcast, S, ceiling)
+        beyond, _ = predicted_makespan(broadcast, S, ceiling * 4)
+        assert beyond == pytest.approx(at_ceiling)  # compute saturated
+        knee = scalability_knee(broadcast, S, max_nodes=64)
+        assert ceiling <= knee <= 4 * ceiling
+
+    def test_knee_validation(self):
+        knee = scalability_knee(METRICS, S, max_nodes=16)
+        assert 1 <= knee <= 16
+
+    def test_max_useful_nodes_validation(self):
+        with pytest.raises(ValueError):
+            max_useful_nodes(METRICS, slots_per_node=0)

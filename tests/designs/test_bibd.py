@@ -1,0 +1,108 @@
+"""Design verification and truncation tests."""
+
+import pytest
+
+from repro.designs.bibd import (
+    design_stats,
+    pair_coverage,
+    truncate_design,
+    verify_design,
+)
+from repro.designs.projective import lee_plane
+
+FANO = [[1, 2, 3], [1, 4, 5], [1, 6, 7], [2, 4, 6], [2, 5, 7], [3, 4, 7], [3, 5, 6]]
+
+
+class TestVerify:
+    def test_fano_valid(self):
+        assert verify_design(FANO, 7, 3, 1).ok
+
+    def test_missing_pair_detected(self):
+        broken = FANO[:-1]  # dropping a block uncovers its 3 pairs
+        check = verify_design(broken, 7, 3, 1)
+        assert not check.ok
+        assert any("no block" in v for v in check.violations)
+
+    def test_duplicate_pair_detected(self):
+        check = verify_design(FANO + [[1, 2, 4]], 7, 3, 1)
+        assert not check.ok
+        assert any("covered 2 times" in v for v in check.violations)
+
+    def test_wrong_block_size_detected(self):
+        check = verify_design([[1, 2]], 3, k=3, lam=0)
+        assert not check.ok
+        assert any("expected k=3" in v for v in check.violations)
+
+    def test_out_of_range_point_detected(self):
+        check = verify_design([[1, 2, 99]], 7, k=3, lam=0)
+        assert not check.ok
+        assert any("out-of-range" in v for v in check.violations)
+
+    def test_duplicate_point_in_block_detected(self):
+        check = verify_design([[1, 1, 2]], 7, k=None, lam=0)
+        assert not check.ok
+        assert any("duplicate" in v for v in check.violations)
+
+    def test_k_none_skips_uniformity(self):
+        # Mixed block sizes but perfect pair coverage over v=4.
+        blocks = [[1, 2, 3], [1, 4], [2, 4], [3, 4]]
+        assert verify_design(blocks, 4, k=None, lam=1).ok
+
+    def test_violation_cap(self):
+        # Massively broken input must not flood the report.
+        check = verify_design([[1, 2]] * 50, 10, k=3, lam=1, max_violations=5)
+        assert not check.ok
+        assert len(check.violations) <= 5
+
+
+class TestPairCoverage:
+    def test_counts(self):
+        cover = pair_coverage([[1, 2, 3], [2, 3, 4]])
+        assert cover[(1, 2)] == 1
+        assert cover[(2, 3)] == 2
+        assert cover[(3, 4)] == 1
+        assert (1, 4) not in cover
+
+    def test_block_order_irrelevant(self):
+        assert pair_coverage([[3, 1, 2]]) == pair_coverage([[1, 2, 3]])
+
+
+class TestTruncate:
+    def test_noop_when_v_matches(self):
+        assert truncate_design(FANO, 7) == FANO
+
+    def test_points_removed_and_small_blocks_dropped(self):
+        out = truncate_design(FANO, 4)
+        # Every surviving block has >= 2 points <= 4.
+        assert all(len(b) >= 2 and max(b) <= 4 for b in out)
+        check = verify_design(out, 4, k=None, lam=1)
+        assert check.ok, check.violations
+
+    @pytest.mark.parametrize("v", [10, 25, 40, 56, 57])
+    def test_truncations_of_order7_plane(self, v):
+        out = truncate_design(lee_plane(7), v)
+        check = verify_design(out, v, k=None, lam=1)
+        assert check.ok, check.violations
+
+    def test_min_block_zero_keeps_everything(self):
+        out = truncate_design(FANO, 4, min_block=0)
+        assert len(out) == len(FANO)
+
+
+class TestStats:
+    def test_full_plane_stats(self):
+        stats = design_stats(lee_plane(5), 31)
+        assert stats.num_blocks == 31
+        assert stats.min_block_size == stats.max_block_size == 6
+        assert stats.min_replication == stats.max_replication == 6
+
+    def test_truncated_stats(self):
+        blocks = truncate_design(lee_plane(5), 20)
+        stats = design_stats(blocks, 20)
+        assert stats.max_block_size <= 6
+        assert stats.min_block_size >= 2
+        assert stats.mean_replication <= 6
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            design_stats([], 5)

@@ -1,0 +1,92 @@
+"""Singer difference-set tests."""
+
+import pytest
+
+from repro.designs.bibd import pair_coverage, verify_design
+from repro.designs.difference_sets import (
+    cyclic_plane,
+    find_primitive_element,
+    singer_difference_set,
+    verify_difference_set,
+)
+from repro.designs.gf import GF
+from repro.designs.primes import plane_size
+from repro.designs.projective import lee_plane
+
+PRIME_ORDERS = [2, 3, 5, 7, 11, 13]
+PRIME_POWER_ORDERS = [4, 8, 9]
+
+
+class TestPrimitiveElements:
+    @pytest.mark.parametrize("q", [3, 4, 5, 7, 8, 9, 27])
+    def test_generates_whole_group(self, q):
+        field = GF(q)
+        g = find_primitive_element(field)
+        powers = set()
+        x = 1
+        for _ in range(q - 1):
+            powers.add(x)
+            x = field.mul(x, g)
+        assert powers == set(range(1, q))
+
+    def test_trivial_field(self):
+        assert find_primitive_element(GF(2)) == 1
+
+
+class TestSingerSets:
+    @pytest.mark.parametrize("q", PRIME_ORDERS + PRIME_POWER_ORDERS)
+    def test_is_perfect_difference_set(self, q):
+        diff_set = singer_difference_set(q)
+        assert len(diff_set) == q + 1
+        assert verify_difference_set(diff_set, plane_size(q))
+
+    def test_rejects_non_prime_power(self):
+        with pytest.raises(ValueError):
+            singer_difference_set(6)
+
+    def test_cached_and_deterministic(self):
+        assert singer_difference_set(5) is singer_difference_set(5)
+
+    def test_fano_difference_set(self):
+        # The classic {0, 1, 3} mod 7 (up to the primitive element chosen).
+        diff_set = singer_difference_set(2)
+        assert verify_difference_set(diff_set, 7)
+        assert len(diff_set) == 3
+
+
+class TestVerifier:
+    def test_accepts_known_set(self):
+        assert verify_difference_set((0, 1, 3), 7)
+
+    def test_rejects_bad_set(self):
+        assert not verify_difference_set((0, 1, 2), 7)  # difference 1 twice
+
+    def test_rejects_wrong_modulus(self):
+        assert not verify_difference_set((0, 1, 3), 8)
+
+
+class TestCyclicPlane:
+    @pytest.mark.parametrize("q", PRIME_ORDERS + PRIME_POWER_ORDERS)
+    def test_valid_design(self, q):
+        blocks = cyclic_plane(q)
+        v = plane_size(q)
+        assert len(blocks) == v
+        check = verify_design(blocks, v, k=q + 1, lam=1)
+        assert check.ok, check.violations
+
+    @pytest.mark.parametrize("q", [3, 5, 7])
+    def test_same_coverage_as_lee(self, q):
+        """Three independent constructions (Lee, GF, Singer) must induce
+        identical exactly-once pair coverage."""
+        singer_cover = pair_coverage(cyclic_plane(q))
+        lee_cover = pair_coverage(lee_plane(q))
+        assert set(singer_cover) == set(lee_cover)
+
+    def test_blocks_are_translates(self):
+        q = 5
+        diff_set = singer_difference_set(q)
+        blocks = cyclic_plane(q)
+        q_hat = plane_size(q)
+        for t, block in enumerate(blocks):
+            expected = sorted(((t + d) % q_hat) + 1 for d in diff_set)
+            assert block == expected

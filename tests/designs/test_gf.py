@@ -1,0 +1,190 @@
+"""Finite-field tests: polynomial layer and GF(p^k) axioms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designs.gf import (
+    GF,
+    find_irreducible,
+    is_irreducible,
+    poly_add,
+    poly_divmod,
+    poly_gcd,
+    poly_mod,
+    poly_mul,
+    poly_pow_mod,
+    poly_sub,
+)
+
+FIELD_ORDERS = [2, 3, 4, 5, 7, 8, 9, 16, 25, 27]
+
+
+class TestPolynomials:
+    def test_add_sub_roundtrip(self):
+        a, b, p = (1, 2, 1), (0, 1), 3
+        assert poly_sub(poly_add(a, b, p), b, p) == a
+
+    def test_mul_by_zero_and_one(self):
+        a, p = (2, 0, 1), 5
+        assert poly_mul(a, (), p) == ()
+        assert poly_mul(a, (1,), p) == a
+
+    def test_trailing_zeros_trimmed(self):
+        # (x + 2)(x + 3) over Z_5 = x² + 5x + 6 = x² + 1 — middle term vanishes.
+        assert poly_mul((2, 1), (3, 1), 5) == (1, 0, 1)
+
+    def test_divmod_identity(self):
+        a, b, p = (4, 3, 2, 1), (1, 1), 5
+        q, r = poly_divmod(a, b, p)
+        assert poly_add(poly_mul(q, b, p), r, p) == a
+        assert len(r) < len(b)
+
+    def test_divmod_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_divmod((1, 1), (), 3)
+
+    def test_pow_mod_matches_repeated_mul(self):
+        m, p = (1, 0, 1, 1), 2  # irreducible cubic over GF(2)
+        base = (0, 1)
+        direct = (1,)
+        for _ in range(5):
+            direct = poly_mod(poly_mul(direct, base, p), m, p)
+        assert poly_pow_mod(base, 5, m, p) == direct
+
+    def test_gcd_of_coprime_is_one(self):
+        # x + 1 and x² + x + 1 share no factor over GF(2)
+        # (note x² + 1 = (x+1)² would NOT be coprime with x + 1).
+        assert poly_gcd((1, 1), (1, 1, 1), 2) == (1,)
+        assert poly_gcd((1, 1), (1, 0, 1), 2) == (1, 1)
+
+    def test_gcd_common_factor(self):
+        # Both divisible by (x + 1) over Z_3.
+        f = poly_mul((1, 1), (2, 1), 3)
+        g = poly_mul((1, 1), (1, 0, 1), 3)
+        assert poly_gcd(f, g, 3) == (1, 1)
+
+
+class TestIrreducible:
+    def test_known_irreducible_gf2(self):
+        assert is_irreducible((1, 1, 1), 2)  # x² + x + 1
+        assert not is_irreducible((1, 0, 1), 2)  # x² + 1 = (x+1)²
+
+    def test_known_irreducible_gf3(self):
+        assert is_irreducible((1, 0, 1), 3)  # x² + 1 has no root mod 3
+        assert not is_irreducible((2, 0, 1), 3)  # x² + 2 = x² - 1 = (x-1)(x+1)
+
+    def test_find_irreducible_has_no_roots(self):
+        for p, k in [(2, 2), (2, 3), (2, 4), (3, 2), (3, 3), (5, 2)]:
+            f = find_irreducible(p, k)
+            assert len(f) == k + 1 and f[-1] == 1  # monic, right degree
+            for x in range(p):
+                value = sum(c * x**i for i, c in enumerate(f)) % p
+                assert value != 0, f"{f} has root {x} mod {p}"
+
+    def test_find_irreducible_deterministic(self):
+        assert find_irreducible(2, 4) == find_irreducible(2, 4)
+
+
+class TestGFConstruction:
+    def test_rejects_non_prime_power(self):
+        for bad in (1, 6, 12, 100):
+            with pytest.raises(ValueError):
+                GF(bad)
+
+    @pytest.mark.parametrize("q", FIELD_ORDERS)
+    def test_decompose(self, q):
+        field = GF(q)
+        assert field.p**field.k == q
+
+    def test_encode_decode_roundtrip(self):
+        field = GF(27)
+        for code in field.elements():
+            assert field.encode(field.decode(code)) == code
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(ValueError):
+            GF(4).decode(4)
+
+
+class TestFieldAxioms:
+    """Exhaustive axiom checks on every small field."""
+
+    @pytest.mark.parametrize("q", FIELD_ORDERS)
+    def test_additive_group(self, q):
+        field = GF(q)
+        for a in field.elements():
+            assert field.add(a, 0) == a
+            assert field.add(a, field.neg(a)) == 0
+
+    @pytest.mark.parametrize("q", FIELD_ORDERS)
+    def test_multiplicative_group(self, q):
+        field = GF(q)
+        for a in field.elements():
+            assert field.mul(a, 1) == a
+            if a != 0:
+                assert field.mul(a, field.inv(a)) == 1
+
+    @pytest.mark.parametrize("q", [4, 8, 9])
+    def test_associativity_and_distributivity_exhaustive(self, q):
+        field = GF(q)
+        elems = list(field.elements())
+        for a in elems:
+            for b in elems:
+                assert field.mul(a, b) == field.mul(b, a)
+                for c in elems:
+                    assert field.mul(a, field.mul(b, c)) == field.mul(
+                        field.mul(a, b), c
+                    )
+                    assert field.mul(a, field.add(b, c)) == field.add(
+                        field.mul(a, b), field.mul(a, c)
+                    )
+
+    @pytest.mark.parametrize("q", FIELD_ORDERS)
+    def test_no_zero_divisors(self, q):
+        field = GF(q)
+        for a in range(1, q):
+            for b in range(1, q):
+                assert field.mul(a, b) != 0
+
+    @pytest.mark.parametrize("q", FIELD_ORDERS)
+    def test_frobenius_fixed_points(self, q):
+        """x^q = x for every x in GF(q) (little Fermat for fields)."""
+        field = GF(q)
+        for a in field.elements():
+            assert field.pow(a, q) == a
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            GF(9).inv(0)
+
+    def test_div(self):
+        field = GF(8)
+        for a in field.elements():
+            for b in range(1, 8):
+                assert field.mul(field.div(a, b), b) == a
+
+    def test_pow_negative_exponent(self):
+        field = GF(7)
+        for a in range(1, 7):
+            assert field.mul(field.pow(a, -1), a) == 1
+
+    def test_large_field_without_tables(self):
+        """q > 256 skips table building; direct arithmetic must still hold."""
+        field = GF(289)  # 17²
+        assert field._mul_table is None
+        a, b = 37, 250
+        assert field.mul(a, field.inv(a)) == 1
+        assert field.mul(a, b) == field.mul(b, a)
+
+
+@given(st.sampled_from(FIELD_ORDERS), st.data())
+@settings(max_examples=60)
+def test_field_random_triples(q, data):
+    """Property: random triples satisfy commutativity + distributivity."""
+    field = GF(q)
+    a = data.draw(st.integers(min_value=0, max_value=q - 1))
+    b = data.draw(st.integers(min_value=0, max_value=q - 1))
+    c = data.draw(st.integers(min_value=0, max_value=q - 1))
+    assert field.add(a, b) == field.add(b, a)
+    assert field.mul(a, field.add(b, c)) == field.add(field.mul(a, b), field.mul(a, c))

@@ -1,0 +1,189 @@
+"""Tests for primality / prime-power machinery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designs.primes import (
+    integer_nth_root,
+    is_prime,
+    is_prime_power,
+    iter_primes,
+    next_prime,
+    next_prime_power,
+    plane_order_for,
+    plane_size,
+    prime_power_decompose,
+    primes_up_to,
+)
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        known = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+        for n in range(50):
+            assert is_prime(n) == (n in known)
+
+    def test_negative_zero_one(self):
+        assert not is_prime(-7)
+        assert not is_prime(0)
+        assert not is_prime(1)
+
+    def test_large_prime(self):
+        assert is_prime(2**61 - 1)  # Mersenne prime
+        assert not is_prime(2**61 - 3)
+
+    def test_carmichael_numbers_rejected(self):
+        # Fermat pseudoprimes that fool weak tests.
+        for carmichael in (561, 1105, 1729, 2465, 2821, 6601, 8911, 41041):
+            assert not is_prime(carmichael)
+
+    def test_squares_of_primes_rejected(self):
+        for p in (101, 103, 997):
+            assert not is_prime(p * p)
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    def test_agrees_with_trial_division(self, n):
+        trial = all(n % d for d in range(2, int(n**0.5) + 1))
+        assert is_prime(n) == trial
+
+
+class TestSieve:
+    def test_matches_is_prime(self):
+        sieve = primes_up_to(1000)
+        assert sieve == [n for n in range(1001) if is_prime(n)]
+
+    def test_empty_below_two(self):
+        assert primes_up_to(1) == []
+        assert primes_up_to(0) == []
+
+    def test_iter_primes_prefix(self):
+        import itertools
+
+        assert list(itertools.islice(iter_primes(), 10)) == [
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29,
+        ]
+
+
+class TestNthRoot:
+    def test_exact_cubes(self):
+        for base in (2, 3, 10, 101):
+            assert integer_nth_root(base**3, 3) == base
+
+    def test_floor_behaviour(self):
+        assert integer_nth_root(26, 3) == 2
+        assert integer_nth_root(27, 3) == 3
+        assert integer_nth_root(28, 3) == 3
+
+    def test_edge_cases(self):
+        assert integer_nth_root(0, 5) == 0
+        assert integer_nth_root(1, 7) == 1
+        assert integer_nth_root(12345, 1) == 12345
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            integer_nth_root(-1, 2)
+        with pytest.raises(ValueError):
+            integer_nth_root(10, 0)
+
+    @given(st.integers(min_value=0, max_value=10**12), st.integers(min_value=1, max_value=10))
+    def test_root_is_floor(self, x, n):
+        r = integer_nth_root(x, n)
+        assert r**n <= x
+        assert (r + 1) ** n > x or x == 0 and r == 0
+
+
+class TestPrimePowers:
+    def test_decompose_primes(self):
+        assert prime_power_decompose(7) == (7, 1)
+        assert prime_power_decompose(2) == (2, 1)
+
+    def test_decompose_powers(self):
+        assert prime_power_decompose(8) == (2, 3)
+        assert prime_power_decompose(9) == (3, 2)
+        assert prime_power_decompose(243) == (3, 5)
+        assert prime_power_decompose(1024) == (2, 10)
+
+    def test_decompose_composites(self):
+        for n in (6, 12, 36, 100, 1000):
+            assert prime_power_decompose(n) is None
+
+    def test_decompose_below_two(self):
+        assert prime_power_decompose(0) is None
+        assert prime_power_decompose(1) is None
+
+    def test_is_prime_power_small_table(self):
+        powers = {2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25, 27, 29, 31, 32}
+        for n in range(2, 33):
+            assert is_prime_power(n) == (n in powers), n
+
+    @given(st.integers(min_value=2, max_value=50), st.integers(min_value=1, max_value=8))
+    def test_reconstruction(self, p, k):
+        if is_prime(p):
+            decomp = prime_power_decompose(p**k)
+            assert decomp is not None
+            base, exp = decomp
+            assert base**exp == p**k
+            assert is_prime(base)
+
+
+class TestNextPrime:
+    def test_basics(self):
+        assert next_prime(0) == 2
+        assert next_prime(2) == 2
+        assert next_prime(3) == 3
+        assert next_prime(4) == 5
+        assert next_prime(90) == 97
+
+    def test_next_prime_power(self):
+        assert next_prime_power(6) == 7
+        assert next_prime_power(8) == 8
+        assert next_prime_power(10) == 11
+        assert next_prime_power(26) == 27
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    @settings(max_examples=50)
+    def test_next_prime_is_minimal(self, n):
+        p = next_prime(n)
+        assert p >= n and is_prime(p)
+        assert not any(is_prime(m) for m in range(n, p))
+
+
+class TestPlaneOrder:
+    def test_paper_example(self):
+        # §5.3: "If, e.g., v = 10,000, then q = 101".
+        assert plane_order_for(10_000) == 101
+
+    def test_exact_plane_sizes(self):
+        assert plane_order_for(7) == 2
+        assert plane_order_for(57) == 7  # 7²+7+1 = 57
+        # 58 needs q >= 8; 8 is not prime, so the prime search lands on 11
+        # while the prime-power search takes 8.
+        assert plane_order_for(58) == 11
+        assert plane_order_for(58, allow_prime_powers=True) == 8
+
+    def test_prime_only_vs_prime_power(self):
+        # v=21 fits a plane of order 4 = 2², but the smallest *prime* is 5.
+        assert plane_order_for(21) == 5
+        assert plane_order_for(21, allow_prime_powers=True) == 4
+
+    def test_bound_holds(self):
+        for v in (2, 5, 7, 8, 100, 1234, 99991):
+            q = plane_order_for(v)
+            assert plane_size(q) >= v
+            assert is_prime(q)
+
+    def test_minimality(self):
+        for v in (50, 200, 5000):
+            q = plane_order_for(v)
+            # No smaller prime's plane is large enough.
+            smaller = [p for p in primes_up_to(q - 1) if plane_size(p) >= v]
+            assert not smaller
+
+    def test_rejects_bad_v(self):
+        with pytest.raises(ValueError):
+            plane_order_for(0)
+
+    def test_plane_size_rejects_tiny_order(self):
+        with pytest.raises(ValueError):
+            plane_size(1)

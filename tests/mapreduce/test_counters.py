@@ -1,0 +1,78 @@
+"""Counter tests."""
+
+from repro.mapreduce.counters import Counters
+
+
+class TestCounters:
+    def test_increment_and_get(self):
+        c = Counters()
+        c.increment("app", "pairs", 3)
+        c.increment("app", "pairs")
+        assert c.get("app", "pairs") == 4
+
+    def test_unknown_counter_is_zero(self):
+        assert Counters().get("nope", "nothing") == 0
+
+    def test_negative_increment(self):
+        c = Counters()
+        c.increment("g", "n", 10)
+        c.increment("g", "n", -4)
+        assert c.get("g", "n") == 6
+
+    def test_group_snapshot(self):
+        c = Counters()
+        c.increment("g", "a", 1)
+        c.increment("g", "b", 2)
+        snapshot = c.group("g")
+        assert snapshot == {"a": 1, "b": 2}
+        snapshot["a"] = 99  # mutating the snapshot must not affect the counters
+        assert c.get("g", "a") == 1
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.increment("g", "x", 1)
+        b.increment("g", "x", 2)
+        b.increment("h", "y", 5)
+        a.merge(b)
+        assert a.get("g", "x") == 3
+        assert a.get("h", "y") == 5
+
+    def test_items_sorted(self):
+        c = Counters()
+        c.increment("b", "z", 1)
+        c.increment("a", "y", 2)
+        c.increment("a", "x", 3)
+        assert list(c.items()) == [("a", "x", 3), ("a", "y", 2), ("b", "z", 1)]
+
+    def test_dict_roundtrip(self):
+        c = Counters()
+        c.increment("g", "x", 7)
+        c.increment("h", "y", 9)
+        restored = Counters.from_dict(c.as_dict())
+        assert list(restored.items()) == list(c.items())
+
+
+class TestGauges:
+    def test_set_max_keeps_maximum(self):
+        c = Counters()
+        c.set_max("g", "max_ws", 10)
+        c.set_max("g", "max_ws", 5)
+        assert c.get("g", "max_ws") == 10
+        c.set_max("g", "max_ws", 20)
+        assert c.get("g", "max_ws") == 20
+
+    def test_gauge_name_enforced(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Counters().set_max("g", "ws", 1)
+
+    def test_merge_takes_max_for_gauges(self):
+        a, b = Counters(), Counters()
+        a.set_max("g", "max_ws", 10)
+        b.set_max("g", "max_ws", 30)
+        a.increment("g", "records", 5)
+        b.increment("g", "records", 7)
+        a.merge(b)
+        assert a.get("g", "max_ws") == 30  # max, not 40
+        assert a.get("g", "records") == 12  # sum as usual

@@ -1,0 +1,124 @@
+"""DFS block-placement model tests."""
+
+import pytest
+
+from repro._util import MB
+from repro.mapreduce.hdfs import DistributedFileSystem
+
+
+def make_fs(**kwargs):
+    defaults = dict(num_nodes=4, block_size=64 * MB, replication=3, seed=42)
+    defaults.update(kwargs)
+    return DistributedFileSystem(**defaults)
+
+
+class TestCreate:
+    def test_block_count(self):
+        fs = make_fs()
+        entry = fs.create("data", 200 * MB)  # 4 blocks: 64+64+64+8
+        assert entry.num_blocks == 4
+
+    def test_empty_file(self):
+        fs = make_fs()
+        entry = fs.create("empty", 0)
+        assert entry.num_blocks == 0
+
+    def test_duplicate_name_rejected(self):
+        fs = make_fs()
+        fs.create("a", 10)
+        with pytest.raises(FileExistsError):
+            fs.create("a", 10)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_fs().create("bad", -1)
+
+    def test_replication_capped_at_nodes(self):
+        fs = make_fs(num_nodes=2, replication=5)
+        entry = fs.create("a", 10)
+        assert len(entry.placements[0]) == 2
+
+    def test_replicas_distinct_nodes(self):
+        fs = make_fs()
+        entry = fs.create("a", 500 * MB)
+        for replicas in entry.placements:
+            assert len(replicas) == len(set(replicas)) == 3
+
+
+class TestBlockSizes:
+    def test_last_block_short(self):
+        fs = make_fs()
+        fs.create("a", 100 * MB)  # 64 + 36
+        assert fs.block_size_of("a", 0) == 64 * MB
+        assert fs.block_size_of("a", 1) == 36 * MB
+
+    def test_out_of_range(self):
+        fs = make_fs()
+        fs.create("a", 10)
+        with pytest.raises(IndexError):
+            fs.block_size_of("a", 1)
+
+
+class TestReads:
+    def test_read_cost_partition(self):
+        fs = make_fs()
+        fs.create("a", 300 * MB)
+        local, remote = fs.read_cost("a", reader_node=0)
+        assert local + remote == 300 * MB
+
+    def test_full_replication_always_local(self):
+        fs = make_fs(num_nodes=3, replication=3)
+        fs.create("a", 200 * MB)
+        for node in range(3):
+            local, remote = fs.read_cost("a", node)
+            assert remote == 0
+
+    def test_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            make_fs().read_cost("ghost", 0)
+
+
+class TestAccounting:
+    def test_used_bytes_counts_replicas(self):
+        fs = make_fs(replication=3)
+        fs.create("a", 100 * MB)
+        assert fs.used_bytes() == 300 * MB
+
+    def test_per_node_sums_to_total(self):
+        fs = make_fs()
+        fs.create("a", 500 * MB)
+        fs.create("b", 130 * MB)
+        assert sum(fs.used_bytes(n) for n in range(4)) == fs.used_bytes()
+
+    def test_delete_frees(self):
+        fs = make_fs()
+        fs.create("a", 100 * MB)
+        fs.delete("a")
+        assert fs.used_bytes() == 0
+        assert not fs.exists("a")
+        with pytest.raises(FileNotFoundError):
+            fs.delete("a")
+
+    def test_locations_enumerate_replicas(self):
+        fs = make_fs()
+        fs.create("a", 100 * MB)  # 2 blocks × 3 replicas
+        assert len(fs.locations("a")) == 6
+
+    def test_deterministic_placement(self):
+        a = make_fs(seed=7)
+        b = make_fs(seed=7)
+        a.create("x", 500 * MB)
+        b.create("x", 500 * MB)
+        assert a.entry("x").placements == b.entry("x").placements
+
+    def test_files_listing(self):
+        fs = make_fs()
+        fs.create("b", 1)
+        fs.create("a", 1)
+        assert fs.files() == ["a", "b"]
+
+    def test_primaries_rotate(self):
+        fs = make_fs(num_nodes=4)
+        entry = fs.create("a", 256 * MB)  # 4 blocks
+        primaries = [replicas[0] for replicas in entry.placements]
+        assert primaries == [0, 1, 2, 3]

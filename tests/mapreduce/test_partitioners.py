@@ -1,0 +1,98 @@
+"""Range-partitioner (total order) tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce.partitioners import RangePartitioner, is_globally_sorted
+from repro.mapreduce.shuffle import partition_records
+
+
+class TestRangePartitioner:
+    def test_routing(self):
+        part = RangePartitioner([10, 20])
+        assert part.num_partitions == 3
+        assert part(5, 3) == 0
+        assert part(10, 3) == 1  # boundary goes right
+        assert part(15, 3) == 1
+        assert part(25, 3) == 2
+
+    def test_rejects_unsorted_splits(self):
+        with pytest.raises(ValueError):
+            RangePartitioner([20, 10])
+
+    def test_partition_count_must_match(self):
+        part = RangePartitioner([10])
+        with pytest.raises(ValueError):
+            part(5, 3)
+
+    def test_key_extractor(self):
+        part = RangePartitioner([("b", 0)], key=lambda k: k[0])
+        assert part(("a", 99), 2) == 0
+        assert part(("c", 1), 2) == 1
+
+
+class TestSampling:
+    def test_roughly_even_partitions(self):
+        rng = random.Random(1)
+        keys = [rng.randrange(10_000) for _ in range(5_000)]
+        part = RangePartitioner.from_sample(keys, 4, seed=7)
+        records = [(k, None) for k in keys]
+        partitions = partition_records(records, part.num_partitions, part)
+        sizes = [len(p) for p in partitions]
+        assert min(sizes) > len(keys) / 4 / 3  # within 3× of perfect
+
+    def test_global_order_property(self):
+        rng = random.Random(2)
+        keys = [rng.randrange(100_000) for _ in range(2_000)]
+        part = RangePartitioner.from_sample(keys, 5, seed=3)
+        partitions = partition_records(
+            [(k, None) for k in keys], part.num_partitions, part
+        )
+        assert is_globally_sorted([[k for k, _ in p] for p in partitions])
+
+    def test_skewed_keys_dedupe_splits(self):
+        keys = [7] * 100 + [9]
+        part = RangePartitioner.from_sample(keys, 8, seed=0)
+        # Heavy duplication collapses split points instead of crashing.
+        assert part.num_partitions <= 8
+        for k in keys:
+            assert 0 <= part(k, part.num_partitions) < part.num_partitions
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RangePartitioner.from_sample([], 3)
+        with pytest.raises(ValueError):
+            RangePartitioner.from_sample([1], 0)
+
+    def test_single_partition(self):
+        part = RangePartitioner.from_sample([3, 1, 2], 1)
+        assert part.num_partitions == 1
+        assert part(99, 1) == 0
+
+
+class TestGloballySorted:
+    def test_accepts_ordered(self):
+        assert is_globally_sorted([[1, 2], [3, 4], [5]])
+
+    def test_rejects_overlap(self):
+        assert not is_globally_sorted([[1, 5], [3, 4]])
+
+    def test_empty_partitions_skipped(self):
+        assert is_globally_sorted([[1], [], [2]])
+
+
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=500),
+    parts=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_range_partitioning_is_totally_ordered(keys, parts):
+    part = RangePartitioner.from_sample(keys, parts, seed=11)
+    partitions = partition_records(
+        [(k, None) for k in keys], part.num_partitions, part
+    )
+    assert sum(len(p) for p in partitions) == len(keys)
+    assert is_globally_sorted([[k for k, _ in p] for p in partitions])

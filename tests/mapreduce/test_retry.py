@@ -1,0 +1,113 @@
+"""Task-retry (fault tolerance) tests."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.mapreduce.counters import FRAMEWORK_GROUP
+from repro.mapreduce.job import Job, Mapper, Reducer, TaskFailedError
+from repro.mapreduce.runtime import MultiprocessEngine, SerialEngine
+
+
+class FlakyMapper(Mapper):
+    """Fails until a flag file exists (state survives across attempts
+    and across processes)."""
+
+    def map(self, key, value, context):
+        flag = Path(context.config["flag"])
+        if not flag.exists():
+            flag.write_text("tripped")
+            raise RuntimeError("transient failure")
+        context.emit(key, value)
+
+
+class AlwaysFailMapper(Mapper):
+    def map(self, key, value, context):
+        raise RuntimeError("permanent failure")
+
+
+class FlakyReducer(Reducer):
+    def reduce(self, key, values, context):
+        flag = Path(context.config["flag"])
+        values = list(values)
+        if not flag.exists():
+            flag.write_text("tripped")
+            raise RuntimeError("reduce hiccup")
+        context.emit(key, sum(values))
+
+
+class TestRetries:
+    def test_transient_map_failure_recovers(self, tmp_path):
+        job = Job(
+            name="flaky",
+            mapper=FlakyMapper,
+            config={"flag": str(tmp_path / "flag")},
+            max_attempts=3,
+        )
+        result = SerialEngine().run(job, [(1, "a")], num_map_tasks=1)
+        assert result.records == [(1, "a")]
+        assert result.counters.get(FRAMEWORK_GROUP, "task_retries") == 1
+
+    def test_transient_reduce_failure_recovers(self, tmp_path):
+        job = Job(
+            name="flaky-reduce",
+            reducer=FlakyReducer,
+            config={"flag": str(tmp_path / "flag")},
+            max_attempts=2,
+        )
+        result = SerialEngine().run(job, [(1, 2), (1, 3)], num_map_tasks=1)
+        assert result.records == [(1, 5)]
+
+    def test_permanent_failure_raises_after_attempts(self, tmp_path):
+        job = Job(name="dead", mapper=AlwaysFailMapper, max_attempts=3)
+        with pytest.raises(TaskFailedError) as info:
+            SerialEngine().run(job, [(1, "a")], num_map_tasks=1)
+        assert info.value.attempts == 3
+        assert isinstance(info.value.cause, RuntimeError)
+
+    def test_default_single_attempt(self):
+        job = Job(name="dead", mapper=AlwaysFailMapper)
+        with pytest.raises(TaskFailedError) as info:
+            SerialEngine().run(job, [(1, "a")], num_map_tasks=1)
+        assert info.value.attempts == 1
+
+    def test_failed_attempt_side_effects_discarded(self, tmp_path):
+        """A failed attempt's emitted records never reach the output."""
+
+        class EmitThenFail(Mapper):
+            def map(self, key, value, context):
+                context.emit("garbage", "from failed attempt")
+                flag = Path(context.config["flag"])
+                if not flag.exists():
+                    flag.write_text("x")
+                    raise RuntimeError("boom after emitting")
+                context.emit(key, value)
+
+        job = Job(
+            name="dirty",
+            mapper=EmitThenFail,
+            reducer=None,
+            num_reducers=0,
+            config={"flag": str(tmp_path / "flag")},
+            max_attempts=2,
+        )
+        result = SerialEngine().run(job, [(1, "clean")], num_map_tasks=1)
+        # The successful attempt emits garbage+clean; the failed attempt's
+        # records are gone (only one garbage record, not two).
+        assert result.records == [("garbage", "from failed attempt"), (1, "clean")]
+
+    def test_multiprocess_retry(self, tmp_path):
+        job = Job(
+            name="flaky-mp",
+            mapper=FlakyMapper,
+            config={"flag": str(tmp_path / "flag")},
+            max_attempts=3,
+        )
+        result = MultiprocessEngine(max_workers=2).run(
+            job, [(1, "a"), (2, "b")], num_map_tasks=2
+        )
+        assert sorted(result.records) == [(1, "a"), (2, "b")]
+
+    def test_bad_max_attempts(self):
+        with pytest.raises(ValueError):
+            Job(name="bad", max_attempts=0)

@@ -1,0 +1,68 @@
+"""Serialization and byte-accounting tests."""
+
+import pytest
+
+from repro.core.element import Element
+from repro.mapreduce.serialization import (
+    PickleCodec,
+    SizedPayload,
+    declared_size,
+    record_size,
+)
+
+
+class TestSizedPayload:
+    def test_declares_size(self):
+        assert declared_size(SizedPayload(500_000)) == 500_000
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SizedPayload(-1)
+
+    def test_containers_sum(self):
+        payload = [SizedPayload(100), SizedPayload(200)]
+        assert declared_size(payload) == 300
+
+    def test_dict_values(self):
+        payload = {"a": SizedPayload(100), "b": SizedPayload(50)}
+        size = declared_size(payload)
+        assert size is not None and size >= 150
+
+    def test_plain_objects_declare_nothing(self):
+        assert declared_size(42) is None
+        assert declared_size("hello") is None
+        assert declared_size([1, 2, 3]) is None
+
+    def test_element_with_sized_payload(self):
+        e = Element(1, SizedPayload(1000))
+        e.add_result(2, 0.5)
+        e.add_result(3, 0.5)
+        # payload + 2 results × 16 B + 8 B id
+        assert declared_size(e) == 1000 + 32 + 8
+
+
+class TestRecordSize:
+    def test_declared_beats_measured(self):
+        assert record_size(1, SizedPayload(10_000)) == 10_000 + 8
+
+    def test_string_key(self):
+        assert record_size("abc", SizedPayload(10)) == 3 + 10
+
+    def test_measured_fallback_positive(self):
+        assert record_size(1, [1.0] * 100) > 100
+
+    def test_int_float_sizes(self):
+        assert record_size(1, 2) == 16
+        assert record_size(1, 2.5) == 16
+
+    def test_bytes_value(self):
+        assert record_size(0, b"12345") == 8 + 5
+
+
+class TestPickleCodec:
+    def test_roundtrip(self):
+        codec = PickleCodec()
+        obj = {"key": [1, 2, (3, 4)], "e": Element(1, "p")}
+        restored = codec.decode(codec.encode(obj))
+        assert restored["key"] == obj["key"]
+        assert restored["e"].eid == 1

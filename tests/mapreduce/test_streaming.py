@@ -1,0 +1,131 @@
+"""Hadoop-Streaming protocol tests (external-process stages)."""
+
+import pytest
+
+from repro.mapreduce.job import Job
+from repro.mapreduce.runtime import SerialEngine
+from repro.mapreduce.streaming import (
+    IDENTITY_COMMAND,
+    StreamingMapper,
+    StreamingProtocolError,
+    StreamingReducer,
+    format_record,
+    python_command,
+)
+
+DOUBLER = python_command(
+    "for line in sys.stdin:\n"
+    "    k, v = line.rstrip('\\n').split('\\t')\n"
+    "    print(f'{k}\\t{int(v) * 2}')"
+)
+
+GROUP_SUMMER = python_command(
+    "current, total = None, 0\n"
+    "def flush():\n"
+    "    if current is not None:\n"
+    "        print(f'{current}\\t{total}')\n"
+    "for line in sys.stdin:\n"
+    "    k, v = line.rstrip('\\n').split('\\t')\n"
+    "    if k != current:\n"
+    "        flush()\n"
+    "        current, total = k, 0\n"
+    "    total += int(v)\n"
+    "flush()"
+)
+
+FAILER = python_command("sys.exit(3)")
+
+
+class TestProtocol:
+    def test_format_record(self):
+        assert format_record("k", 5) == "k\t5"
+
+    def test_rejects_tab_in_key(self):
+        with pytest.raises(StreamingProtocolError):
+            format_record("a\tb", 1)
+
+    def test_rejects_newline_in_value(self):
+        with pytest.raises(StreamingProtocolError):
+            format_record("k", "a\nb")
+
+
+class TestStreamingMapper:
+    def test_external_doubler(self):
+        job = Job(
+            name="stream-map",
+            mapper=StreamingMapper,
+            reducer=None,
+            num_reducers=0,
+            config={"stream.mapper": DOUBLER},
+        )
+        result = SerialEngine().run(job, [("a", 1), ("b", 2)], num_map_tasks=1)
+        assert sorted(result.records) == [("a", "2"), ("b", "4")]
+
+    def test_identity_cat(self):
+        job = Job(
+            name="cat",
+            mapper=StreamingMapper,
+            reducer=None,
+            num_reducers=0,
+            config={"stream.mapper": list(IDENTITY_COMMAND)},
+        )
+        result = SerialEngine().run(job, [("x", "y")], num_map_tasks=1)
+        assert result.records == [("x", "y")]
+
+    def test_command_failure_fails_task(self):
+        job = Job(
+            name="fail",
+            mapper=StreamingMapper,
+            reducer=None,
+            num_reducers=0,
+            config={"stream.mapper": FAILER},
+        )
+        from repro.mapreduce.job import TaskFailedError
+
+        with pytest.raises(TaskFailedError):
+            SerialEngine().run(job, [("a", 1)], num_map_tasks=1)
+
+    def test_counter_tracks_lines(self):
+        job = Job(
+            name="count",
+            mapper=StreamingMapper,
+            reducer=None,
+            num_reducers=0,
+            config={"stream.mapper": DOUBLER},
+        )
+        result = SerialEngine().run(job, [("a", 1), ("b", 2)], num_map_tasks=1)
+        assert result.counters.get("streaming", "mapper_lines_in") == 2
+
+
+class TestStreamingReducer:
+    def test_group_summing(self):
+        """The classic streaming wordcount reduce: equal keys adjacent."""
+        job = Job(
+            name="stream-reduce",
+            reducer=StreamingReducer,
+            num_reducers=1,
+            config={"stream.reducer": GROUP_SUMMER},
+        )
+        records = [("a", 1), ("b", 5), ("a", 2), ("b", 7), ("a", 4)]
+        result = SerialEngine().run(job, records, num_map_tasks=1)
+        assert sorted(result.records) == [("a", "7"), ("b", "12")]
+
+    def test_mixed_native_and_streaming_pipeline(self):
+        """Native Python map feeding a streaming reduce stage."""
+        from repro.mapreduce.job import Mapper
+        from repro.mapreduce.pipeline import Pipeline
+
+        class Tokenize(Mapper):
+            def map(self, key, value, context):
+                for word in value.split():
+                    context.emit(word, 1)
+
+        job1 = Job(name="tok", mapper=Tokenize, reducer=None, num_reducers=0)
+        job2 = Job(
+            name="sum",
+            reducer=StreamingReducer,
+            num_reducers=2,
+            config={"stream.reducer": GROUP_SUMMER},
+        )
+        result = Pipeline([job1, job2]).run([(0, "x y x"), (1, "y y")])
+        assert sorted(result.records) == [("x", "2"), ("y", "3")]

@@ -1,0 +1,151 @@
+"""File-based I/O tests: JSONL records, part files, file-driven jobs."""
+
+import numpy as np
+import pytest
+
+from repro.core.element import Element
+from repro.mapreduce.job import Job, Mapper, Reducer
+from repro.mapreduce.runtime import SerialEngine
+from repro.mapreduce.textio import (
+    decode_value,
+    encode_value,
+    read_output_dir,
+    read_records,
+    run_job_on_files,
+    write_partitioned,
+    write_records,
+)
+
+
+class TestValueCodec:
+    def test_scalars_roundtrip(self):
+        for value in (None, True, 0, -3, 2.5, "text"):
+            assert decode_value(encode_value(value)) == value
+
+    def test_containers_roundtrip(self):
+        value = {"a": [1, 2, {"b": 3.5}], "c": "x"}
+        assert decode_value(encode_value(value)) == value
+
+    def test_ndarray_roundtrip(self):
+        arr = np.array([1.5, 2.5, 3.5])
+        restored = decode_value(encode_value(arr))
+        assert isinstance(restored, np.ndarray)
+        assert np.array_equal(restored, arr)
+        assert restored.dtype == arr.dtype
+
+    def test_element_roundtrip(self):
+        e = Element(3, np.array([1.0, 2.0]))
+        e.add_result(1, 0.5)
+        e.add_result(7, 0.25)
+        restored = decode_value(encode_value(e))
+        assert isinstance(restored, Element)
+        assert restored.eid == 3
+        assert np.array_equal(restored.payload, e.payload)
+        assert restored.results == {1: 0.5, 7: 0.25}
+
+    def test_numpy_scalar(self):
+        assert decode_value(encode_value(np.float64(2.5))) == 2.5
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(TypeError):
+            encode_value(object())
+
+
+class TestRecordFiles:
+    def test_roundtrip(self, tmp_path):
+        records = [(1, "a"), ("key", [1, 2]), ((2, 1), 0.5)]
+        path = tmp_path / "data.jsonl"
+        count = write_records(path, records)
+        assert count == 3
+        restored = list(read_records(path))
+        assert restored == records  # tuple keys restored
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_text('[1, "a"]\n\n[2, "b"]\n')
+        assert list(read_records(path)) == [(1, "a"), (2, "b")]
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('[1, "a"]\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            list(read_records(path))
+
+    def test_write_creates_parents(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "data.jsonl"
+        write_records(path, [(1, 1)])
+        assert path.exists()
+
+
+class TestPartFiles:
+    def test_layout(self, tmp_path):
+        paths = write_partitioned(tmp_path / "out", [[(1, "a")], [(2, "b")]])
+        assert [p.name for p in paths] == ["part-r-00000.jsonl", "part-r-00001.jsonl"]
+
+    def test_read_output_dir_ordered(self, tmp_path):
+        write_partitioned(tmp_path / "out", [[(1, "a")], [(2, "b")], []])
+        assert list(read_output_dir(tmp_path / "out")) == [(1, "a"), (2, "b")]
+
+    def test_missing_output_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            list(read_output_dir(tmp_path / "nothing"))
+
+
+class WordSplitMapper(Mapper):
+    def map(self, key, value, context):
+        for word in value.split():
+            context.emit(word, 1)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, context):
+        context.emit(key, sum(values))
+
+
+class TestFileDrivenJobs:
+    def test_wordcount_over_files(self, tmp_path):
+        write_records(tmp_path / "in0.jsonl", [(0, "a b a")])
+        write_records(tmp_path / "in1.jsonl", [(1, "b c")])
+        job = Job(
+            name="wc", mapper=WordSplitMapper, reducer=SumReducer, num_reducers=2
+        )
+        result = run_job_on_files(
+            job,
+            [tmp_path / "in0.jsonl", tmp_path / "in1.jsonl"],
+            tmp_path / "out",
+            engine=SerialEngine(),
+        )
+        assert result.num_map_tasks == 2  # one split per file
+        counts = dict(read_output_dir(tmp_path / "out"))
+        assert counts == {"a": 2, "b": 2, "c": 1}
+
+    def test_part_count_matches_reducers(self, tmp_path):
+        write_records(tmp_path / "in.jsonl", [(0, "x y z")])
+        job = Job(
+            name="wc", mapper=WordSplitMapper, reducer=SumReducer, num_reducers=3
+        )
+        run_job_on_files(job, [tmp_path / "in.jsonl"], tmp_path / "out")
+        parts = sorted((tmp_path / "out").glob("part-r-*.jsonl"))
+        assert len(parts) == 3
+
+    def test_empty_input_list_rejected(self, tmp_path):
+        job = Job(name="wc", mapper=WordSplitMapper, reducer=SumReducer)
+        with pytest.raises(ValueError):
+            run_job_on_files(job, [], tmp_path / "out")
+
+    def test_chained_file_jobs(self, tmp_path):
+        """Job 2 reads job 1's parts — the §3 'preceding job wrote the
+        dataset to files' workflow."""
+        write_records(tmp_path / "in.jsonl", [(0, "a a b")])
+        job1 = Job(name="wc", mapper=WordSplitMapper, reducer=SumReducer)
+        run_job_on_files(job1, [tmp_path / "in.jsonl"], tmp_path / "stage1")
+
+        class Invert(Mapper):
+            def map(self, key, value, context):
+                context.emit(value, key)
+
+        job2 = Job(name="invert", mapper=Invert, reducer=None, num_reducers=0)
+        parts = sorted((tmp_path / "stage1").glob("part-r-*.jsonl"))
+        run_job_on_files(job2, parts, tmp_path / "stage2")
+        inverted = sorted(read_output_dir(tmp_path / "stage2"))
+        assert inverted == [(1, "b"), (2, "a")]

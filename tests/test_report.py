@@ -1,0 +1,95 @@
+"""ASCII chart renderer tests."""
+
+import pytest
+
+from repro.report.ascii_chart import AsciiChart, loglog_chart
+
+
+class TestValidation:
+    def test_minimum_dimensions(self):
+        with pytest.raises(ValueError):
+            AsciiChart(width=5, height=10)
+        with pytest.raises(ValueError):
+            AsciiChart(width=20, height=2)
+
+    def test_empty_series_rejected(self):
+        chart = AsciiChart()
+        with pytest.raises(ValueError):
+            chart.add_series("empty", [])
+
+    def test_log_axis_rejects_nonpositive(self):
+        chart = AsciiChart(log_x=True, log_y=True)
+        with pytest.raises(ValueError):
+            chart.add_series("bad", [(0.0, 1.0)])
+        with pytest.raises(ValueError):
+            chart.add_series("bad", [(1.0, -1.0)])
+
+    def test_render_without_series_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiChart().render()
+
+
+class TestRendering:
+    def test_marker_appears(self):
+        chart = AsciiChart(width=20, height=6)
+        chart.add_series("s", [(0, 0), (1, 1)])
+        out = chart.render()
+        assert "*" in out
+        assert "*=s" in out  # legend
+
+    def test_distinct_markers_per_series(self):
+        chart = AsciiChart(width=20, height=6)
+        chart.add_series("a", [(0, 0)])
+        chart.add_series("b", [(1, 1)])
+        out = chart.render()
+        assert "*=a" in out and "o=b" in out
+
+    def test_monotone_series_descends(self):
+        """A decreasing series' markers move down-right in the grid."""
+        chart = AsciiChart(width=30, height=10)
+        chart.add_series("down", [(0, 10), (1, 5), (2, 1)])
+        lines = chart.render().splitlines()
+        plot = [line.split("|", 1)[1] for line in lines if "|" in line]
+        positions = [
+            (row, col)
+            for row, line in enumerate(plot)
+            for col, ch in enumerate(line)
+            if ch == "*"
+        ]
+        positions.sort(key=lambda rc: rc[1])  # by column (x)
+        rows = [row for row, _col in positions]
+        assert rows == sorted(rows)  # lower y → larger row index
+
+    def test_log_axis_tick_labels(self):
+        out = loglog_chart({"s": [(10, 100), (1000, 10_000)]})
+        assert "1e1" in out and "1e3" in out  # x range
+        assert "1e2" in out and "1e4" in out  # y range
+
+    def test_single_point_no_crash(self):
+        chart = AsciiChart(width=12, height=4)
+        chart.add_series("dot", [(5, 5)])
+        assert "*" in chart.render()
+
+    def test_dimensions(self):
+        chart = AsciiChart(width=25, height=7)
+        chart.add_series("s", [(0, 0), (1, 1)])
+        lines = chart.render().splitlines()
+        plot_lines = [line for line in lines if "|" in line]
+        assert len(plot_lines) == 7
+        assert all(len(line.split("|", 1)[1]) == 25 for line in plot_lines)
+
+    def test_axis_labels_present(self):
+        chart = AsciiChart(width=20, height=5, x_label="size", y_label="count")
+        chart.add_series("s", [(1, 1), (2, 2)])
+        out = chart.render()
+        assert "size" in out and "count" in out
+
+
+class TestLogLogHelper:
+    def test_multiple_series(self):
+        out = loglog_chart(
+            {"a": [(1, 1), (10, 10)], "b": [(1, 10), (10, 1)]},
+            width=30,
+            height=8,
+        )
+        assert "*=a" in out and "o=b" in out

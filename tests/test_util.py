@@ -1,0 +1,111 @@
+"""Tests for the shared utility module."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util import (
+    GB,
+    KB,
+    MB,
+    TB,
+    ceil_div,
+    chunked,
+    format_bytes,
+    isqrt_ceil,
+    mean,
+    stdev,
+    triangle_count,
+)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(10, 5) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(11, 5) == 3
+        assert ceil_div(1, 5) == 1
+
+    def test_zero_dividend(self):
+        assert ceil_div(0, 7) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ceil_div(5, 0)
+        with pytest.raises(ValueError):
+            ceil_div(-1, 5)
+
+    @given(a=st.integers(min_value=0, max_value=10**12), b=st.integers(min_value=1, max_value=10**6))
+    def test_property(self, a, b):
+        q = ceil_div(a, b)
+        assert (q - 1) * b < a or a == 0
+        assert q * b >= a
+
+
+class TestTriangleCount:
+    def test_values(self):
+        assert triangle_count(0) == 0
+        assert triangle_count(1) == 0
+        assert triangle_count(2) == 1
+        assert triangle_count(7) == 21
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            triangle_count(-1)
+
+
+class TestIsqrtCeil:
+    def test_perfect_squares(self):
+        assert isqrt_ceil(49) == 7
+
+    def test_rounds_up(self):
+        assert isqrt_ceil(50) == 8
+
+    def test_zero(self):
+        assert isqrt_ceil(0) == 0
+
+    @given(x=st.integers(min_value=0, max_value=10**15))
+    def test_property(self, x):
+        r = isqrt_ceil(x)
+        assert r * r >= x
+        assert (r - 1) * (r - 1) < x or x == 0
+
+
+class TestChunked:
+    def test_even_chunks(self):
+        assert list(chunked([1, 2, 3, 4], 2)) == [[1, 2], [3, 4]]
+
+    def test_ragged_tail(self):
+        assert list(chunked([1, 2, 3], 2)) == [[1, 2], [3]]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))
+
+
+class TestFormatBytes:
+    def test_units(self):
+        assert format_bytes(500) == "500B"
+        assert format_bytes(500 * KB) == "500KB"
+        assert format_bytes(1.5 * MB) == "1.5MB"
+        assert format_bytes(2 * GB) == "2GB"
+        assert format_bytes(3 * TB) == "3TB"
+
+    def test_negative(self):
+        assert format_bytes(-2 * MB) == "-2MB"
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_stdev(self):
+        assert stdev([2.0, 2.0]) == 0.0
+        assert stdev([0.0, 2.0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+        with pytest.raises(ValueError):
+            stdev([])

@@ -1,0 +1,126 @@
+"""Workload generator tests: shapes, determinism, planted structure."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.serialization import SizedPayload
+from repro.workloads import (
+    make_blobs,
+    make_documents,
+    make_expression_matrix,
+    make_matrix,
+    make_sized_elements,
+    make_vectors,
+)
+
+
+class TestBlobs:
+    def test_shape(self):
+        points = make_blobs(50, dim=3, seed=0)
+        assert len(points) == 50
+        assert all(p.shape == (3,) for p in points)
+
+    def test_deterministic(self):
+        a = make_blobs(20, seed=5)
+        b = make_blobs(20, seed=5)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_seeds_differ(self):
+        a = make_blobs(20, seed=5)
+        b = make_blobs(20, seed=6)
+        assert not all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_clusters_are_tight(self):
+        """With tiny spread, nearest-neighbour distances within a cluster
+        are far below the box scale."""
+        points = np.array(make_blobs(60, num_clusters=2, spread=0.05, box=50, seed=1))
+        dists = np.linalg.norm(points[:, None] - points[None, :], axis=-1)
+        np.fill_diagonal(dists, np.inf)
+        assert np.median(dists.min(axis=1)) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_blobs(0)
+        with pytest.raises(ValueError):
+            make_blobs(5, num_clusters=0)
+        with pytest.raises(ValueError):
+            make_blobs(5, noise_fraction=1.5)
+
+
+class TestDocuments:
+    def test_shape(self):
+        docs = make_documents(10, length=30, seed=0)
+        assert len(docs) == 10
+        assert all(len(d) == 30 for d in docs)
+
+    def test_deterministic(self):
+        assert make_documents(5, seed=2) == make_documents(5, seed=2)
+
+    def test_vocab_respected(self):
+        docs = make_documents(10, vocabulary=50, seed=1)
+        tokens = {t for d in docs for t in d}
+        assert tokens <= {f"w{i}" for i in range(50)}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_documents(0)
+        with pytest.raises(ValueError):
+            make_documents(5, vocabulary=2, num_topics=5)
+
+
+class TestExpression:
+    def test_shape(self):
+        m = make_expression_matrix(6, 40, seed=0)
+        assert m.shape == (6, 40)
+
+    def test_linked_pairs_correlated(self):
+        m = make_expression_matrix(8, 200, num_linked_pairs=2, link_noise=0.05, seed=3)
+        r01 = np.corrcoef(m[0], m[1])[0, 1]
+        r23 = np.corrcoef(m[2], m[3])[0, 1]
+        r45 = np.corrcoef(m[4], m[5])[0, 1]
+        assert r01 > 0.95 and r23 > 0.95
+        assert abs(r45) < 0.4  # unlinked background
+
+    def test_too_many_links_rejected(self):
+        with pytest.raises(ValueError):
+            make_expression_matrix(4, 10, num_linked_pairs=3)
+
+
+class TestMatrix:
+    def test_full_rank_by_default(self):
+        m = make_matrix(5, 20, seed=0)
+        assert np.linalg.matrix_rank(m) == 5
+
+    def test_planted_rank(self):
+        m = make_matrix(10, 30, rank=4, seed=1)
+        assert np.linalg.matrix_rank(m) == 4
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            make_matrix(5, 5, rank=6)
+        with pytest.raises(ValueError):
+            make_matrix(0, 5)
+
+
+class TestSizedElements:
+    def test_payloads(self):
+        payloads = make_sized_elements(5, 1000)
+        assert all(isinstance(p, SizedPayload) for p in payloads)
+        assert all(p.size_bytes == 1000 for p in payloads)
+        assert len({p.tag for p in payloads}) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_sized_elements(0, 10)
+
+
+class TestVectors:
+    def test_shape_and_determinism(self):
+        a = make_vectors(4, 7, seed=9)
+        b = make_vectors(4, 7, seed=9)
+        assert len(a) == 4 and a[0].shape == (7,)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_vectors(0, 3)
