@@ -1,0 +1,423 @@
+"""P1 — persistent worker pool vs. the seed's per-phase pools.
+
+The execution-layer rework keeps one ``ProcessPoolExecutor`` alive across
+map/reduce phases and chained jobs, broadcasts each job's statics (mapper
+factories, config, distributed cache) to every worker exactly once, and
+streams pre-encoded shuffle chunks instead of re-measuring every record
+on the driver.  This bench quantifies that rework against a faithful
+replica of the seed engine on a cache-resident design-scheme document
+similarity workload (≥8 input splits, two chained jobs):
+
+- ``SeedMultiprocessEngine`` (defined below) reproduces the seed's
+  dispatch semantics exactly: a fresh process pool per phase, the full
+  ``Job`` — distributed cache included — pickled into every task spec,
+  and the driver re-computing ``record_size`` over all gathered shuffle
+  records.  Spec payloads are pre-pickled so bytes-pickled is metered at
+  zero extra cost (the executor no longer has to pickle them itself).
+- ``MultiprocessEngine`` is the reworked engine; its ``EngineStats``
+  meters broadcast + spec bytes the same way.
+
+Asserts the PR's acceptance bar: the pooled engine is ≥2× faster and
+pickles ≥5× fewer bytes per pipeline run.  Writes
+``results/engine_scaling.txt`` and the repo-root
+``BENCH_engine_scaling.json`` consumed by CI.
+
+Run standalone (``--quick`` for the fast, assertion-free CI variant):
+
+    PYTHONPATH=src python benchmarks/bench_engine_scaling.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from harness import format_table, write_report
+
+from repro.apps.docsim import build_tfidf, cosine_similarity
+from repro.core.design import DesignScheme
+from repro.core.element import results_matrix
+from repro.core.pairwise import PairwiseComputation
+from repro.mapreduce import MultiprocessEngine, SerialEngine
+from repro.mapreduce.counters import (
+    COMBINE_INPUT_RECORDS,
+    COMBINE_OUTPUT_RECORDS,
+    FRAMEWORK_GROUP,
+    MAP_INPUT_RECORDS,
+    MAP_OUTPUT_BYTES,
+    MAP_OUTPUT_RECORDS,
+    REDUCE_INPUT_GROUPS,
+    REDUCE_INPUT_RECORDS,
+    REDUCE_OUTPUT_RECORDS,
+    SHUFFLE_BYTES,
+    SHUFFLE_RECORDS,
+    Counters,
+)
+from repro.mapreduce.job import Context, Job, JobResult, KeyValue, TaskFailedError
+from repro.mapreduce.serialization import record_size
+from repro.mapreduce.shuffle import partition_records, sort_and_group
+from repro.mapreduce.splits import split_by_count
+from repro.workloads.generator import make_documents
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_engine_scaling.json"
+
+# Cache-heavy by construction: few elements with fat tf-idf vectors, split
+# finely.  The seed engine ships one cache copy per task spec, so its cost
+# scales with (splits + reducers) x cache size; the pooled engine broadcasts
+# the cache once per worker per job.
+V = 60
+VOCABULARY = 20_000
+DOC_LENGTH = 1500
+NUM_MAP_TASKS = 24
+NUM_REDUCE_TASKS = 8
+REPEATS = 3
+MAX_WORKERS = 2
+
+QUICK_V = 40
+QUICK_VOCABULARY = 2_000
+QUICK_DOC_LENGTH = 200
+QUICK_REPEATS = 1
+
+
+# ---------------------------------------------------------------------------
+# Seed-engine replica (pre-rework dispatch semantics, byte-metered).
+#
+# Copied from the seed revision of ``repro/mapreduce/runtime.py`` with two
+# deliberate deviations, neither of which changes what is being measured:
+# task specs are pre-pickled on the driver (the executor would otherwise do
+# the identical pickling internally — doing it ourselves meters the bytes
+# for free), and map/reduce dispatch goes through one worker entry point.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _SeedMapSpec:
+    job: Job
+    records: list[KeyValue]
+    num_partitions: int
+
+
+@dataclass
+class _SeedReduceSpec:
+    job: Job
+    records: list[KeyValue]
+
+
+def _seed_map_attempt(spec: _SeedMapSpec) -> tuple[list[list[KeyValue]], dict]:
+    job = spec.job
+    counters = Counters()
+    context = Context(counters, cache=job.cache, config=job.config)
+    mapper = job.mapper()
+    mapper.setup(context)
+    for key, value in spec.records:
+        counters.increment(FRAMEWORK_GROUP, MAP_INPUT_RECORDS)
+        mapper.map(key, value, context)
+    mapper.cleanup(context)
+    output = context.drain()
+    counters.increment(FRAMEWORK_GROUP, MAP_OUTPUT_RECORDS, len(output))
+    counters.increment(
+        FRAMEWORK_GROUP, MAP_OUTPUT_BYTES, sum(record_size(k, v) for k, v in output)
+    )
+    if job.combiner is not None:
+        counters.increment(FRAMEWORK_GROUP, COMBINE_INPUT_RECORDS, len(output))
+        combiner = job.combiner()
+        combine_context = Context(counters, cache=job.cache, config=job.config)
+        combiner.setup(combine_context)
+        for key, values in sort_and_group(output, job.sort_key):
+            combiner.reduce(key, values, combine_context)
+        combiner.cleanup(combine_context)
+        output = combine_context.drain()
+        counters.increment(FRAMEWORK_GROUP, COMBINE_OUTPUT_RECORDS, len(output))
+    if spec.num_partitions == 0:
+        return [output], counters.as_dict()
+    partitions = partition_records(output, spec.num_partitions, job.partitioner)
+    return partitions, counters.as_dict()
+
+
+def _seed_reduce_attempt(spec: _SeedReduceSpec) -> tuple[list[KeyValue], dict]:
+    job = spec.job
+    counters = Counters()
+    context = Context(counters, cache=job.cache, config=job.config)
+    reducer = job.reducer()
+    reducer.setup(context)
+    counters.increment(FRAMEWORK_GROUP, REDUCE_INPUT_RECORDS, len(spec.records))
+    for key, values in sort_and_group(spec.records, job.sort_key):
+        counters.increment(FRAMEWORK_GROUP, REDUCE_INPUT_GROUPS)
+        if job.value_sort_key is not None:
+            values = iter(sorted(values, key=job.value_sort_key))
+        reducer.reduce(key, values, context)
+    reducer.cleanup(context)
+    output = context.drain()
+    counters.increment(FRAMEWORK_GROUP, REDUCE_OUTPUT_RECORDS, len(output))
+    return output, counters.as_dict()
+
+
+def _seed_with_retries(kind: str, job: Job, attempt: Callable[[], Any]) -> Any:
+    last_error: BaseException | None = None
+    for attempt_number in range(1, job.max_attempts + 1):
+        try:
+            result, counters = attempt()
+        except Exception as exc:  # noqa: BLE001 - task code may raise anything
+            last_error = exc
+            continue
+        if attempt_number > 1:
+            counters.setdefault(FRAMEWORK_GROUP, {})
+            counters[FRAMEWORK_GROUP]["task_retries"] = (
+                counters[FRAMEWORK_GROUP].get("task_retries", 0) + attempt_number - 1
+            )
+        return result, counters
+    assert last_error is not None
+    raise TaskFailedError(kind, job.max_attempts, last_error)
+
+
+def _seed_run_spec(spec: _SeedMapSpec | _SeedReduceSpec) -> Any:
+    if isinstance(spec, _SeedMapSpec):
+        return _seed_with_retries("map", spec.job, lambda: _seed_map_attempt(spec))
+    return _seed_with_retries("reduce", spec.job, lambda: _seed_reduce_attempt(spec))
+
+
+def _seed_run_pickled(payload: bytes) -> Any:
+    return _seed_run_spec(pickle.loads(payload))
+
+
+class SeedMultiprocessEngine:
+    """The seed's multiprocess engine: per-phase pools, fat task specs."""
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = max_workers
+        self.bytes_pickled = 0
+        self.pools_created = 0
+
+    def close(self) -> None:  # Pipeline compatibility; nothing persistent
+        pass
+
+    def run(
+        self,
+        job: Job,
+        input_records: Sequence[KeyValue] | None = None,
+        *,
+        splits=None,
+        num_map_tasks: int | None = None,
+    ) -> JobResult:
+        if (input_records is None) == (splits is None):
+            raise ValueError("provide exactly one of input_records or splits")
+        if splits is None:
+            if num_map_tasks is None:
+                num_map_tasks = max(1, len(input_records) // 5000)
+            splits = split_by_count(input_records, num_map_tasks)
+
+        num_partitions = job.num_reducers if job.reducer is not None else 0
+        map_specs = [
+            _SeedMapSpec(job=job, records=split.records, num_partitions=num_partitions)
+            for split in splits
+        ]
+        map_outputs = self._run_tasks(map_specs)
+
+        counters = Counters()
+        gathered: list[list[KeyValue]] = [[] for _ in range(max(1, num_partitions))]
+        for partitions, counter_dict in map_outputs:
+            counters.merge(Counters.from_dict(counter_dict))
+            for index, part in enumerate(partitions):
+                gathered[index].extend(part)
+
+        if job.reducer is None:
+            records = [record for part in gathered for record in part]
+            return JobResult(
+                records=records,
+                counters=counters,
+                num_map_tasks=len(splits),
+                num_reduce_tasks=0,
+            )
+
+        # The seed's double accounting: the driver re-pickles every gathered
+        # record to size the shuffle, although map tasks already measured it.
+        shuffle_records = sum(len(part) for part in gathered)
+        shuffle_bytes = sum(record_size(k, v) for part in gathered for k, v in part)
+        counters.increment(FRAMEWORK_GROUP, SHUFFLE_RECORDS, shuffle_records)
+        counters.increment(FRAMEWORK_GROUP, SHUFFLE_BYTES, shuffle_bytes)
+
+        reduce_specs = [_SeedReduceSpec(job=job, records=part) for part in gathered]
+        reduce_outputs = self._run_tasks(reduce_specs)
+        records = []
+        for output, counter_dict in reduce_outputs:
+            counters.merge(Counters.from_dict(counter_dict))
+            records.extend(output)
+        return JobResult(
+            records=records,
+            counters=counters,
+            num_map_tasks=len(splits),
+            num_reduce_tasks=num_partitions,
+        )
+
+    def _run_tasks(self, specs: list[Any]) -> list[Any]:
+        if len(specs) <= 1:
+            return [_seed_run_spec(spec) for spec in specs]
+        payloads = [
+            pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL) for spec in specs
+        ]
+        self.bytes_pickled += sum(len(payload) for payload in payloads)
+        self.pools_created += 1
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(_seed_run_pickled, payloads))
+
+
+# ---------------------------------------------------------------------------
+# Workload: cache-resident design-scheme document similarity.
+# ---------------------------------------------------------------------------
+
+
+def make_vectors(v: int, vocabulary: int, length: int) -> list[dict[str, float]]:
+    return build_tfidf(
+        make_documents(v, vocabulary=vocabulary, length=length, seed=7)
+    )
+
+
+def run_pipeline(engine, vectors):
+    computation = PairwiseComputation(
+        DesignScheme(len(vectors)),
+        cosine_similarity,
+        engine=engine,
+        num_reduce_tasks=NUM_REDUCE_TASKS,
+    )
+    return computation.run_cached(vectors, num_map_tasks=NUM_MAP_TASKS)
+
+
+def _bench_serial(vectors, repeats):
+    best = float("inf")
+    merged = None
+    for _ in range(repeats):
+        engine = SerialEngine()
+        start = time.perf_counter()
+        merged = run_pipeline(engine, vectors)
+        best = min(best, time.perf_counter() - start)
+    return best, 0, merged
+
+
+def _bench_seed(vectors, repeats):
+    best = float("inf")
+    bytes_per_run = 0
+    merged = None
+    for _ in range(repeats):
+        engine = SeedMultiprocessEngine(max_workers=MAX_WORKERS)
+        start = time.perf_counter()
+        merged = run_pipeline(engine, vectors)
+        best = min(best, time.perf_counter() - start)
+        bytes_per_run = engine.bytes_pickled
+    return best, bytes_per_run, merged
+
+
+def _bench_pooled(vectors, repeats):
+    best = float("inf")
+    bytes_per_run = 0
+    merged = None
+    for _ in range(repeats):
+        # A fresh engine per repeat charges the pooled engine its full
+        # startup cost (one pool + per-job broadcasts) on every run.
+        engine = MultiprocessEngine(max_workers=MAX_WORKERS)
+        start = time.perf_counter()
+        merged = run_pipeline(engine, vectors)
+        engine.close()
+        best = min(best, time.perf_counter() - start)
+        bytes_per_run = engine.stats.bytes_pickled
+    return best, bytes_per_run, merged
+
+
+def run_comparison(quick: bool = False) -> dict:
+    if quick:
+        v, vocabulary, length = QUICK_V, QUICK_VOCABULARY, QUICK_DOC_LENGTH
+        repeats = QUICK_REPEATS
+    else:
+        v, vocabulary, length = V, VOCABULARY, DOC_LENGTH
+        repeats = REPEATS
+    vectors = make_vectors(v, vocabulary, length)
+
+    serial_s, _, serial_merged = _bench_serial(vectors, repeats)
+    seed_s, seed_bytes, seed_merged = _bench_seed(vectors, repeats)
+    pooled_s, pooled_bytes, pooled_merged = _bench_pooled(vectors, repeats)
+
+    # Honesty guard: all engines must produce the same pair results.
+    reference = results_matrix(serial_merged)
+    assert results_matrix(seed_merged) == reference
+    assert results_matrix(pooled_merged) == reference
+
+    speedup = seed_s / pooled_s
+    bytes_reduction = seed_bytes / pooled_bytes
+    metrics = {
+        "workload": {
+            "scheme": "design",
+            "pair_function": "cosine_similarity",
+            "v": v,
+            "vocabulary": vocabulary,
+            "doc_length": length,
+            "num_map_tasks": NUM_MAP_TASKS,
+            "num_reduce_tasks": NUM_REDUCE_TASKS,
+            "max_workers": MAX_WORKERS,
+            "repeats": repeats,
+            "quick": quick,
+        },
+        "engines": {
+            "serial": {"seconds": serial_s},
+            "seed_multiprocess": {
+                "seconds": seed_s,
+                "bytes_pickled_per_run": seed_bytes,
+            },
+            "pooled_multiprocess": {
+                "seconds": pooled_s,
+                "bytes_pickled_per_run": pooled_bytes,
+            },
+        },
+        "speedup_pooled_vs_seed": speedup,
+        "bytes_pickled_reduction": bytes_reduction,
+    }
+
+    rows = [
+        ["serial", f"{serial_s:.3f}", "-", "-"],
+        ["seed multiprocess", f"{seed_s:.3f}", seed_bytes, "1.00"],
+        [
+            "pooled multiprocess",
+            f"{pooled_s:.3f}",
+            pooled_bytes,
+            f"{speedup:.2f}",
+        ],
+    ]
+    write_report(
+        "engine_scaling",
+        f"P1 — persistent pool vs per-phase pools "
+        f"(design scheme, v={v}, {NUM_MAP_TASKS} splits, "
+        f"{MAX_WORKERS} workers, best of {repeats}); "
+        f"bytes pickled per run reduced {bytes_reduction:.1f}x",
+        format_table(["engine", "seconds", "bytes pickled/run", "speedup vs seed"], rows),
+    )
+    JSON_PATH.write_text(json.dumps(metrics, indent=2) + "\n")
+
+    if not quick:
+        assert speedup >= 2.0, f"pooled engine only {speedup:.2f}x faster than seed"
+        assert bytes_reduction >= 5.0, (
+            f"bytes pickled only reduced {bytes_reduction:.2f}x"
+        )
+    return metrics
+
+
+def test_engine_scaling(benchmark):
+    metrics = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    assert metrics["speedup_pooled_vs_seed"] >= 2.0
+    assert metrics["bytes_pickled_reduction"] >= 5.0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload, single repeat, no perf assertions (CI artifact mode)",
+    )
+    arguments = parser.parse_args()
+    results = run_comparison(quick=arguments.quick)
+    print(json.dumps(results, indent=2))

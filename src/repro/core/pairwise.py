@@ -17,7 +17,13 @@ Three execution paths, all driven by a :class:`DistributionScheme`:
    distributed cache, map tasks evaluate their label chunk, the single
    reduce phase aggregates per element.
 
-3. :meth:`PairwiseComputation.run_local` — the same three abstract steps
+3. :meth:`PairwiseComputation.run_cached` — the two-job pipeline with the
+   payload store in the **distributed cache**: the shuffle routes element
+   ids and partial result maps only, and a pooled engine broadcasts the
+   store once per worker instead of once per task.  Works with *any*
+   scheme (it generalizes the broadcast optimization's cache usage).
+
+4. :meth:`PairwiseComputation.run_local` — the same three abstract steps
    without the MR machinery (fast in-process reference; tests compare the
    MR paths against it).
 
@@ -32,6 +38,7 @@ from typing import Any, Callable, Mapping, Sequence
 from ..mapreduce.job import Context, Job, Mapper, Reducer
 from ..mapreduce.pipeline import Pipeline, PipelineResult
 from ..mapreduce.runtime import Engine, SerialEngine
+from ..mapreduce.serialization import record_size
 from .aggregate import Aggregator, ConcatAggregator
 from .broadcast import BroadcastScheme
 from .element import Element, merge_copies
@@ -81,8 +88,6 @@ class ComputeReducer(Reducer):
         member_ids = sorted(elements)
         # §6's measured quantity: the peak working set actually held by a
         # reduce task — records and (declared) bytes — as a max-gauge.
-        from ..mapreduce.serialization import record_size
-
         context.counters.set_max(
             PAIRWISE_GROUP, MAX_WORKING_SET_RECORDS, len(elements)
         )
@@ -110,6 +115,96 @@ class AggregateReducer(Reducer):
     def reduce(self, key: int, values: Any, context: Context) -> None:
         aggregator: Aggregator = context.config["aggregator"]
         context.emit(key, aggregator(list(values)))
+
+
+class CachedDistributeMapper(Mapper):
+    """Algorithm 1's map for cache-resident payloads: emit ids only.
+
+    When the dataset rides the distributed cache (broadcast once per
+    worker by a pooled engine), the shuffle only needs to route element
+    *ids* into working sets — the replication cost drops from
+    ``b·k`` payload copies to ``b·k`` integers.
+    """
+
+    def map(self, key: int, value: Any, context: Context) -> None:
+        scheme: DistributionScheme = context.config["scheme"]
+        for subset_id in scheme.get_subsets(key):
+            context.emit(subset_id, key)
+            context.counters.increment(PAIRWISE_GROUP, REPLICAS_EMITTED)
+
+
+class CachedComputeReducer(Reducer):
+    """Algorithm 1's reduce against the cached payload store.
+
+    Same pair relation and orientation semantics as
+    :class:`ComputeReducer`; emits per-element *partial result maps*
+    (partner id → result) instead of full element copies.
+    """
+
+    def setup(self, context: Context) -> None:
+        # The payload store is immutable for the task's lifetime, so each
+        # element's size is measured once even when getSubsets places it
+        # in many of the task's working sets.
+        self._payload_sizes: dict[int, int] = {}
+
+    def _payload_size(self, eid: int, payloads: Mapping[int, Any]) -> int:
+        size = self._payload_sizes.get(eid)
+        if size is None:
+            size = record_size(eid, payloads[eid])
+            self._payload_sizes[eid] = size
+        return size
+
+    def reduce(self, key: int, values: Any, context: Context) -> None:
+        scheme: DistributionScheme = context.config["scheme"]
+        comp: PairFunction = context.config["comp"]
+        symmetric: bool = context.config.get("symmetric", True)
+        payloads: Mapping[int, Any] = context.cache_file("dataset")
+        seen: set[int] = set()
+        for eid in values:
+            if eid in seen:
+                raise ValueError(
+                    f"working set {key} received element {eid} twice"
+                )
+            seen.add(eid)
+        member_ids = sorted(seen)
+        results: dict[int, dict[int, Any]] = {eid: {} for eid in member_ids}
+        context.counters.set_max(
+            PAIRWISE_GROUP, MAX_WORKING_SET_RECORDS, len(member_ids)
+        )
+        context.counters.set_max(
+            PAIRWISE_GROUP,
+            MAX_WORKING_SET_BYTES,
+            sum(self._payload_size(eid, payloads) for eid in member_ids),
+        )
+        for i, j in scheme.get_pairs(key, member_ids):
+            result = comp(payloads[i], payloads[j])
+            results[i][j] = result
+            if symmetric:
+                results[j][i] = result
+            else:
+                results[j][i] = comp(payloads[j], payloads[i])
+                context.counters.increment(PAIRWISE_GROUP, EVALUATIONS)
+            context.counters.increment(PAIRWISE_GROUP, EVALUATIONS)
+        for eid in member_ids:
+            context.emit(eid, results[eid])
+
+
+class CachedAggregateReducer(Reducer):
+    """Algorithm 2's reduce for the cached variant: fuse partial maps.
+
+    Rebuilds the element from the cached payload store and folds every
+    working set's partial result map into it; duplicate pairs still raise
+    through :meth:`Element.add_result` (the exactly-once guarantee).
+    """
+
+    def reduce(self, key: int, values: Any, context: Context) -> None:
+        aggregator: Aggregator = context.config["aggregator"]
+        payloads: Mapping[int, Any] = context.cache_file("dataset")
+        element = Element(key, payloads[key])
+        for partial in values:
+            for partner, result in partial.items():
+                element.add_result(partner, result)
+        context.emit(key, aggregator([element]))
 
 
 class BroadcastPairMapper(Mapper):
@@ -257,6 +352,56 @@ class PairwiseComputation:
         job1, job2 = self.build_jobs()
         pipeline = Pipeline([job1, job2], engine=self.engine)
         input_records = [(element.eid, element) for element in elements]
+        result = pipeline.run(input_records, num_map_tasks=num_map_tasks)
+        merged = {key: value for key, value in result.records}
+        if return_pipeline:
+            return merged, result
+        return merged
+
+    def run_cached(
+        self,
+        dataset: Sequence[Any],
+        *,
+        num_map_tasks: int | None = None,
+        return_pipeline: bool = False,
+    ) -> dict[int, Element] | tuple[dict[int, Element], PipelineResult]:
+        """Two-job pipeline with the payload store in the distributed cache.
+
+        Semantically identical to :meth:`run` (same pair relation, same
+        merged elements), but element payloads never flow through the
+        shuffle: both jobs attach ``{eid: payload}`` to the distributed
+        cache, Job 1 shuffles bare ids into working sets and emits partial
+        result maps, Job 2 rebuilds each element from the store.  On a
+        :class:`~repro.mapreduce.runtime.MultiprocessEngine` the store is
+        broadcast **once per worker per job** instead of once per task —
+        the dispatch-cost profile the engine-scaling bench measures.
+        """
+        elements = self._as_elements(dataset)
+        payloads = {element.eid: element.payload for element in elements}
+        cache = {"dataset": payloads}
+        config = {
+            "scheme": self.scheme,
+            "comp": self.comp,
+            "aggregator": self.aggregator,
+            "symmetric": self.symmetric,
+        }
+        job1 = Job(
+            name="pairwise-distribute-compute-cached",
+            mapper=CachedDistributeMapper,
+            reducer=CachedComputeReducer,
+            num_reducers=self.num_reduce_tasks,
+            cache=cache,
+            config=config,
+        )
+        job2 = Job(
+            name="pairwise-aggregate-cached",
+            reducer=CachedAggregateReducer,
+            num_reducers=self.num_reduce_tasks,
+            cache=cache,
+            config=config,
+        )
+        pipeline = Pipeline([job1, job2], engine=self.engine)
+        input_records = [(element.eid, None) for element in elements]
         result = pipeline.run(input_records, num_map_tasks=num_map_tasks)
         merged = {key: value for key, value in result.records}
         if return_pipeline:

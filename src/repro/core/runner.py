@@ -17,7 +17,7 @@ from typing import Any, Callable, Sequence
 from .._util import GB, MB, TB
 from .chooser import SchemeChoice, choose_scheme
 from .element import Element
-from .hierarchical import HierarchicalBlockScheme, run_rounds
+from .hierarchical import HierarchicalBlockScheme, run_rounds, run_rounds_mr
 from .pairwise import PairwiseComputation
 
 
@@ -71,11 +71,18 @@ def auto_pairwise(
         len(dataset), element_size, maxws=maxws, maxis=maxis, num_nodes=num_nodes
     )
     if isinstance(choice.scheme, HierarchicalBlockScheme):
-        merged = run_rounds(dataset, comp, choice.scheme, aggregator=aggregator)
         if not symmetric:
             raise NotImplementedError(
                 "hierarchical schedules currently run symmetric functions only"
             )
+        if engine is not None:
+            # Round-by-round MR execution: a persistent-pool engine reuses
+            # its workers across every round's two jobs.
+            merged = run_rounds_mr(
+                dataset, comp, choice.scheme, aggregator=aggregator, engine=engine
+            )
+        else:
+            merged = run_rounds(dataset, comp, choice.scheme, aggregator=aggregator)
     else:
         computation = PairwiseComputation(
             choice.scheme,

@@ -33,7 +33,14 @@ from .job import (
     records_from,
 )
 from .pipeline import Pipeline, PipelineResult
-from .runtime import Engine, MultiprocessEngine, SerialEngine
+from .runtime import (
+    DEFAULT_RECORDS_PER_SPLIT,
+    DEFAULT_SPILL_THRESHOLD_BYTES,
+    Engine,
+    EngineStats,
+    MultiprocessEngine,
+    SerialEngine,
+)
 from .serialization import PickleCodec, SizedPayload, record_size
 from .shuffle import hash_partition, sort_and_group, stable_hash
 from .streaming import StreamingMapper, StreamingProtocolError, StreamingReducer
@@ -49,8 +56,11 @@ from .textio import (
 __all__ = [
     "Context",
     "Counters",
+    "DEFAULT_RECORDS_PER_SPLIT",
+    "DEFAULT_SPILL_THRESHOLD_BYTES",
     "DistributedFileSystem",
     "Engine",
+    "EngineStats",
     "ExternalSorter",
     "FRAMEWORK_GROUP",
     "IdentityMapper",

@@ -119,13 +119,22 @@ class ExternalSorter:
         return len(self._runs)
 
     def sorted_records(self) -> Iterator[KeyValue]:
-        """Stream all records in key order (merging spills and buffer)."""
+        """Stream all records in key order (merging spills and buffer).
+
+        Streams are merged oldest run first with the in-memory buffer
+        last; since ``heapq.merge`` is stable across its inputs, records
+        whose ordering keys tie come out in *arrival* order — the same
+        tie-break a single stable in-memory sort gives, so spilling and
+        not spilling produce identical streams.
+        """
         if self._sealed:
             raise RuntimeError("sorter already iterated; create a new one")
         self._sealed = True
         self._buffer.sort(key=self._ordering)
-        streams: list[Iterator[KeyValue]] = [iter(self._buffer)]
-        streams.extend(self._read_run(path) for path in self._runs)
+        streams: list[Iterator[KeyValue]] = [
+            self._read_run(path) for path in self._runs
+        ]
+        streams.append(iter(self._buffer))
         yield from heapq.merge(*streams, key=self._ordering)
 
     def close(self) -> None:

@@ -119,6 +119,16 @@ class Job:
     Hadoop's task-retry knob: a task raising an exception is re-executed
     from scratch (fresh mapper/reducer instance, fresh context) up to
     that many times before the job fails.
+
+    The engine itself reads two optional ``config`` keys:
+
+    - ``"records_per_split"`` — records per map split when the caller does
+      not pass ``num_map_tasks`` (default
+      :data:`~repro.mapreduce.runtime.DEFAULT_RECORDS_PER_SPLIT`);
+    - ``"spill_threshold_bytes"`` — reduce partitions whose accounted size
+      exceeds this go through the external merge sort instead of an
+      in-memory sort (default
+      :data:`~repro.mapreduce.runtime.DEFAULT_SPILL_THRESHOLD_BYTES`).
     """
 
     name: str
@@ -147,15 +157,38 @@ class Job:
 
 
 class TaskFailedError(RuntimeError):
-    """A task exhausted its attempts; wraps the last failure."""
+    """A task exhausted its attempts; wraps every attempt's failure.
 
-    def __init__(self, task_kind: str, attempts: int, cause: BaseException):
+    ``cause`` is the last attempt's error (kept for compatibility);
+    ``causes`` lists all failed attempts in order.  The engine chains each
+    attempt's exception to the previous one via ``__cause__`` before
+    raising, so a traceback shows the whole retry history, not just the
+    final error.
+    """
+
+    def __init__(
+        self,
+        task_kind: str,
+        attempts: int,
+        cause: BaseException,
+        causes: list[BaseException] | None = None,
+    ):
         super().__init__(
             f"{task_kind} task failed after {attempts} attempt(s): {cause!r}"
         )
         self.task_kind = task_kind
         self.attempts = attempts
         self.cause = cause
+        self.causes = list(causes) if causes is not None else [cause]
+
+    def __reduce__(self):
+        # Exceptions cross process boundaries (pool worker -> driver);
+        # the default reduce would replay __init__ with the formatted
+        # message as the only argument and fail.
+        return (
+            type(self),
+            (self.task_kind, self.attempts, self.cause, self.causes),
+        )
 
 
 @dataclass

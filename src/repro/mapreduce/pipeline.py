@@ -41,13 +41,32 @@ class PipelineResult:
 
 
 class Pipeline:
-    """An ordered chain of jobs executed on a single engine."""
+    """An ordered chain of jobs executed on a single engine.
+
+    Because all stages share one engine, a
+    :class:`~repro.mapreduce.runtime.MultiprocessEngine` keeps its worker
+    pool alive across the whole chain: process start-up is paid once and
+    each stage's static parts are broadcast to every worker exactly once
+    (not once per task).  The engine's owner controls its lifetime; use
+    the pipeline as a context manager only when it should close the
+    engine on exit.
+    """
 
     def __init__(self, jobs: Sequence[Job], engine: Engine | None = None):
         if not jobs:
             raise ValueError("pipeline needs at least one job")
         self.jobs = list(jobs)
         self.engine = engine or SerialEngine()
+
+    def close(self) -> None:
+        """Release the engine's resources (worker pool, broadcast files)."""
+        self.engine.close()
+
+    def __enter__(self) -> "Pipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def run(
         self,

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any, Protocol
 
 
@@ -77,6 +78,19 @@ def declared_size(obj: Any) -> int | None:
     return None
 
 
+@lru_cache(maxsize=65536)
+def _pickled_size_of_hashable(obj: Any) -> int:
+    """Memoized pickled size for hashable objects.
+
+    Shuffle accounting calls :func:`record_size` once per record per phase;
+    real workloads emit the same key/payload *shapes* over and over (task
+    ids, element ids, repeated tuples), so the pickled size of a hashable
+    object is cached by value.  Unhashable objects (dicts, lists, most
+    mutable payloads) never reach this cache.
+    """
+    return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
 def _quick_size(obj: Any) -> int:
     """Cheap size estimate for small plain objects (ids, floats, strings)."""
     if obj is None:
@@ -92,7 +106,12 @@ def _quick_size(obj: Any) -> int:
     if isinstance(obj, str):
         return len(obj.encode("utf-8", errors="replace"))
     try:
-        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+        return _pickled_size_of_hashable(obj)
+    except TypeError:  # unhashable: measure directly, no memo
+        try:
+            return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+        except Exception:
+            return 64
     except Exception:
         return 64
 
@@ -126,3 +145,18 @@ class PickleCodec:
 
     def decode(self, data: bytes) -> Any:
         return pickle.loads(data)
+
+
+def encode_records(records: list[tuple[Any, Any]]) -> bytes:
+    """Encode one shuffle partition chunk (a record list) to wire bytes.
+
+    Map tasks pre-encode their partitions so the driver can gather and
+    forward chunks to reduce tasks *without ever decoding them* — the
+    streaming-shuffle half of the persistent-pool engine.
+    """
+    return pickle.dumps(records, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_records(data: bytes) -> list[tuple[Any, Any]]:
+    """Decode a partition chunk produced by :func:`encode_records`."""
+    return pickle.loads(data)

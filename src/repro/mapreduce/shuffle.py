@@ -15,6 +15,8 @@ import pickle
 from itertools import groupby
 from typing import Any, Callable, Iterable, Iterator
 
+from .serialization import record_size
+
 KeyValue = tuple[Any, Any]
 
 
@@ -62,6 +64,34 @@ def partition_records(
             )
         partitions[index].append((key, value))
     return partitions
+
+
+def partition_with_sizes(
+    records: Iterable[KeyValue],
+    num_partitions: int,
+    partitioner: Callable[[Any, int], int] | None = None,
+) -> tuple[list[list[KeyValue]], list[int]]:
+    """Partition records and account their byte sizes in one pass.
+
+    Returns ``(partitions, partition_bytes)`` where ``partition_bytes[p]``
+    is the :func:`~repro.mapreduce.serialization.record_size` sum of
+    partition ``p``.  Map tasks report these sums so the driver can meter
+    ``SHUFFLE_BYTES`` without re-measuring every gathered record (the
+    engine's old double byte-accounting).
+    """
+    part_fn = partitioner or hash_partition
+    partitions: list[list[KeyValue]] = [[] for _ in range(num_partitions)]
+    sizes = [0] * num_partitions
+    for key, value in records:
+        index = part_fn(key, num_partitions)
+        if not 0 <= index < num_partitions:
+            raise ValueError(
+                f"partitioner returned {index} for key {key!r}, "
+                f"outside [0, {num_partitions})"
+            )
+        partitions[index].append((key, value))
+        sizes[index] += record_size(key, value)
+    return partitions, sizes
 
 
 def sort_and_group(

@@ -111,3 +111,56 @@ class TestRetries:
     def test_bad_max_attempts(self):
         with pytest.raises(ValueError):
             Job(name="bad", max_attempts=0)
+
+
+class TestFailureAccounting:
+    def test_task_failures_counter_on_recovery(self, tmp_path):
+        job = Job(
+            name="flaky",
+            mapper=FlakyMapper,
+            config={"flag": str(tmp_path / "flag")},
+            max_attempts=3,
+        )
+        result = SerialEngine().run(job, [(1, "a")], num_map_tasks=1)
+        assert result.counters.get(FRAMEWORK_GROUP, "task_failures") == 1
+        assert result.counters.get(FRAMEWORK_GROUP, "task_retries") == 1
+
+    def test_no_failure_counters_on_clean_run(self):
+        job = Job(name="clean", mapper=Mapper, reducer=None, num_reducers=0)
+        result = SerialEngine().run(job, [(1, "a")], num_map_tasks=1)
+        assert result.counters.get(FRAMEWORK_GROUP, "task_failures") == 0
+        assert result.counters.get(FRAMEWORK_GROUP, "task_retries") == 0
+
+    def test_all_attempt_errors_preserved_and_chained(self):
+        job = Job(name="dead", mapper=AlwaysFailMapper, max_attempts=3)
+        with pytest.raises(TaskFailedError) as info:
+            SerialEngine().run(job, [(1, "a")], num_map_tasks=1)
+        error = info.value
+        assert len(error.causes) == 3
+        assert error.cause is error.causes[-1]
+        # Attempt n chains to attempt n-1: the whole retry history is one
+        # traceback walk away.
+        assert error.causes[2].__cause__ is error.causes[1]
+        assert error.causes[1].__cause__ is error.causes[0]
+        assert error.__cause__ is error.causes[-1]
+
+    def test_task_failed_error_survives_process_boundary(self):
+        """TaskFailedError pickles with its metadata (worker -> driver)."""
+        import pickle
+
+        original = TaskFailedError(
+            "map", 2, RuntimeError("boom"), causes=[ValueError("x"), RuntimeError("boom")]
+        )
+        restored = pickle.loads(pickle.dumps(original))
+        assert restored.task_kind == "map"
+        assert restored.attempts == 2
+        assert isinstance(restored.cause, RuntimeError)
+        assert len(restored.causes) == 2
+
+    def test_multiprocess_permanent_failure_reports_attempts(self):
+        job = Job(name="dead-mp", mapper=AlwaysFailMapper, max_attempts=2)
+        with pytest.raises(TaskFailedError) as info:
+            MultiprocessEngine(max_workers=2).run(
+                job, [(1, "a"), (2, "b")], num_map_tasks=2
+            )
+        assert info.value.attempts == 2
