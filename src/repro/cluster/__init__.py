@@ -2,7 +2,7 @@
 
 from .metrics import ComparisonRow, MeasuredMetrics, TheoryComparison
 from .network import NetworkModel
-from .node import ClusterSpec, NodeSpec
+from .node import ClusterSpec, FailureModel, NodeSpec
 from .racks import (
     Locality,
     RackTopology,
@@ -25,6 +25,7 @@ __all__ = [
     "ClusterSimulator",
     "ClusterSpec",
     "ComparisonRow",
+    "FailureModel",
     "LimitCheck",
     "Locality",
     "MeasuredMetrics",

@@ -32,6 +32,13 @@ class MeasuredMetrics:
     total_evaluations: int
     max_evaluations_per_task: int
     makespan_seconds: float
+    #: makespan with expected re-execution cost folded in (equals
+    #: ``makespan_seconds`` when the simulator has no failure model)
+    makespan_failure_adjusted: float = 0.0
+    #: expected number of failed task runs across the whole scheme
+    expected_reexecutions: float = 0.0
+    #: ``makespan_failure_adjusted − makespan_seconds``
+    recovery_overhead_seconds: float = 0.0
 
 
 @dataclass(frozen=True)

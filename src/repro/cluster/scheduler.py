@@ -12,9 +12,36 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Collection, Sequence
 
 from .node import ClusterSpec
+
+
+def _usable_slots(
+    cluster: ClusterSpec, blacklist: Collection[int]
+) -> list[tuple[int, int]]:
+    """All (node, slot) pairs on non-blacklisted nodes.
+
+    ``blacklist`` holds node indexes excluded from placement — Hadoop's
+    TaskTracker blacklisting, where a node with repeated task failures
+    stops receiving work.  Scheduling with every node blacklisted is a
+    configuration error, not an empty schedule.
+    """
+    excluded = set(blacklist)
+    for index in excluded:
+        if not 0 <= index < cluster.num_nodes:
+            raise ValueError(
+                f"blacklisted node {index} outside cluster of {cluster.num_nodes}"
+            )
+    slots = [
+        (node_index, slot_index)
+        for node_index, node in enumerate(cluster.nodes)
+        if node_index not in excluded
+        for slot_index in range(node.slots)
+    ]
+    if not slots:
+        raise ValueError("every node is blacklisted; nothing can be scheduled")
+    return slots
 
 
 @dataclass(frozen=True)
@@ -59,13 +86,18 @@ class Assignment:
         return self.makespan / mean_load if mean_load > 0 else 1.0
 
 
-def schedule_lpt(tasks: Sequence[TaskCost], cluster: ClusterSpec) -> Assignment:
-    """Longest-Processing-Time-first list scheduling over all cluster slots."""
-    slots = [
-        (node_index, slot_index)
-        for node_index, node in enumerate(cluster.nodes)
-        for slot_index in range(node.slots)
-    ]
+def schedule_lpt(
+    tasks: Sequence[TaskCost],
+    cluster: ClusterSpec,
+    *,
+    blacklist: Collection[int] = (),
+) -> Assignment:
+    """Longest-Processing-Time-first list scheduling over all cluster slots.
+
+    ``blacklist`` excludes whole nodes from placement (TaskTracker
+    blacklisting); their slots receive no tasks and report no load.
+    """
+    slots = _usable_slots(cluster, blacklist)
     # Heap of (current load, tiebreak, slot); tiebreak keeps determinism.
     heap: list[tuple[float, int, tuple[int, int]]] = [
         (0.0, i, slot) for i, slot in enumerate(slots)
@@ -84,7 +116,10 @@ def schedule_lpt(tasks: Sequence[TaskCost], cluster: ClusterSpec) -> Assignment:
 
 
 def schedule_lpt_heterogeneous(
-    tasks: Sequence[TaskCost], cluster: ClusterSpec
+    tasks: Sequence[TaskCost],
+    cluster: ClusterSpec,
+    *,
+    blacklist: Collection[int] = (),
 ) -> Assignment:
     """LPT for clusters whose nodes differ in speed (uniform machines).
 
@@ -92,13 +127,14 @@ def schedule_lpt_heterogeneous(
     a slot on a node with ``eval_rate`` r runs a task in
     ``seconds · rate₀ / r``.  Each task goes to the slot that would
     *finish it earliest* — the classic MET/LPT heuristic for uniformly
-    related machines.
+    related machines.  ``blacklist`` excludes whole nodes, as in
+    :func:`schedule_lpt`.
     """
     rate0 = cluster.nodes[0].eval_rate
     slot_speed: dict[tuple[int, int], float] = {}
-    for node_index, node in enumerate(cluster.nodes):
-        for slot_index in range(node.slots):
-            slot_speed[(node_index, slot_index)] = node.eval_rate / rate0
+    for node_index, slot_index in _usable_slots(cluster, blacklist):
+        node = cluster.nodes[node_index]
+        slot_speed[(node_index, slot_index)] = node.eval_rate / rate0
 
     loads: dict[tuple[int, int], float] = {slot: 0.0 for slot in slot_speed}
     placement: dict[int, tuple[int, int]] = {}
@@ -112,13 +148,14 @@ def schedule_lpt_heterogeneous(
     return Assignment(placement=placement, slot_loads=loads)
 
 
-def schedule_round_robin(tasks: Sequence[TaskCost], cluster: ClusterSpec) -> Assignment:
+def schedule_round_robin(
+    tasks: Sequence[TaskCost],
+    cluster: ClusterSpec,
+    *,
+    blacklist: Collection[int] = (),
+) -> Assignment:
     """Naive round-robin placement — the baseline LPT is compared against."""
-    slots = [
-        (node_index, slot_index)
-        for node_index, node in enumerate(cluster.nodes)
-        for slot_index in range(node.slots)
-    ]
+    slots = _usable_slots(cluster, blacklist)
     placement: dict[int, tuple[int, int]] = {}
     slot_loads = {slot: 0.0 for slot in slots}
     for position, task in enumerate(sorted(tasks, key=lambda t: t.task_id)):

@@ -19,12 +19,13 @@ simulate round by round (sequential rounds, parallel tasks within).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Collection, Sequence
 
 from ..core.hierarchical import Schedule
 from ..core.scheme import DistributionScheme, TaskProfile
 from .metrics import MeasuredMetrics, TheoryComparison
 from .network import NetworkModel
-from .node import ClusterSpec, NodeSpec
+from .node import ClusterSpec, FailureModel, NodeSpec
 from .scheduler import (
     Assignment,
     TaskCost,
@@ -88,6 +89,14 @@ class ClusterSimulator:
     task_overhead_bytes:
         Fixed per-task memory beyond the working set — the "other
         variables and data [that] need to be kept in memory" of §6.
+    failure_model:
+        Optional :class:`~repro.cluster.node.FailureModel`; when set,
+        every ``simulate*`` also reports a failure-adjusted makespan in
+        which each task carries its expected re-execution cost (wasted
+        partial runs plus re-fetching its working set over the network).
+    blacklist:
+        Node indexes excluded from scheduling (TaskTracker blacklisting);
+        the remaining nodes absorb the full task load.
     """
 
     def __init__(
@@ -97,6 +106,8 @@ class ClusterSimulator:
         *,
         maxis: int | None = None,
         task_overhead_bytes: int = 0,
+        failure_model: FailureModel | None = None,
+        blacklist: Collection[int] = (),
     ):
         self.cluster = cluster
         self.network = network or NetworkModel()
@@ -106,9 +117,43 @@ class ClusterSimulator:
                 f"task_overhead_bytes must be >= 0, got {task_overhead_bytes}"
             )
         self.task_overhead = FixedOverhead(task_overhead_bytes)
+        self.failure_model = failure_model
+        self.blacklist = frozenset(blacklist)
         # Mixed node speeds need the speed-aware scheduler.
         rates = {node.eval_rate for node in cluster.nodes}
         self._schedule = schedule_lpt if len(rates) == 1 else schedule_lpt_heterogeneous
+
+    def _place(self, costs: Sequence[TaskCost]) -> Assignment:
+        """Schedule costs on the cluster, honouring the blacklist."""
+        return self._schedule(costs, self.cluster, blacklist=self.blacklist)
+
+    def _failure_impact(
+        self,
+        costs: Sequence[TaskCost],
+        refetch_seconds: Sequence[float],
+        base_makespan: float,
+    ) -> tuple[float, float]:
+        """(failure-adjusted makespan, expected re-executions) for a batch.
+
+        Each task's cost is inflated to its expected completion time under
+        the failure model — re-running LPT on the inflated costs, since a
+        failure-heavy schedule can balance differently — and the expected
+        number of failed runs is summed across tasks.  Without a failure
+        model this is the identity: (``base_makespan``, 0).
+        """
+        if self.failure_model is None or not costs:
+            return base_makespan, 0.0
+        adjusted = [
+            TaskCost(
+                cost.task_id,
+                self.failure_model.expected_task_seconds(cost.seconds, refetch),
+            )
+            for cost, refetch in zip(costs, refetch_seconds)
+        ]
+        reexecutions = sum(
+            self.failure_model.expected_reexecutions(cost.seconds) for cost in costs
+        )
+        return self._place(adjusted).makespan, reexecutions
 
     # -- per-task cost model ----------------------------------------------------
     def _task_seconds(
@@ -149,7 +194,15 @@ class ClusterSimulator:
             TaskCost(p.subset_id, self._task_seconds(p, element_size, eval_seconds, node))
             for p in profiles
         ]
-        assignment = self._schedule(costs, self.cluster)
+        assignment = self._place(costs)
+        # Recovery re-ships exactly the task's working set — the quantity
+        # the scheme's replication choice controls.
+        refetch = [
+            self.network.transfer_time(p.num_members * element_size) for p in profiles
+        ]
+        adjusted, reexecutions = self._failure_impact(
+            costs, refetch, assignment.makespan
+        )
 
         measured = MeasuredMetrics(
             scheme=scheme.name,
@@ -164,6 +217,9 @@ class ClusterSimulator:
             total_evaluations=total_evals,
             max_evaluations_per_task=max(p.num_evaluations for p in profiles),
             makespan_seconds=assignment.makespan,
+            makespan_failure_adjusted=adjusted,
+            expected_reexecutions=reexecutions,
+            recovery_overhead_seconds=adjusted - assignment.makespan,
         )
         return SimulationReport(
             measured=measured,
@@ -213,7 +269,13 @@ class ClusterSimulator:
             out_bytes = 2 * p.num_evaluations * result_bytes
             seconds = p.num_evaluations * eval_seconds + out_bytes / node.io_rate
             costs.append(TaskCost(p.subset_id, seconds))
-        assignment = self._schedule(costs, self.cluster)
+        assignment = self._place(costs)
+        # A recovered broadcast task must re-localize the *whole* cached
+        # dataset on its replacement node — broadcast's recovery downside.
+        refetch = [self.network.transfer_time(dataset_bytes)] * len(costs)
+        adjusted, reexecutions = self._failure_impact(
+            costs, refetch, assignment.makespan
+        )
 
         total_evals = sum(p.num_evaluations for p in profiles)
         # Every node caches the dataset once; results add 2 records/eval.
@@ -235,6 +297,9 @@ class ClusterSimulator:
             total_evaluations=total_evals,
             max_evaluations_per_task=max(p.num_evaluations for p in profiles),
             makespan_seconds=broadcast_time + assignment.makespan,
+            makespan_failure_adjusted=broadcast_time + adjusted,
+            expected_reexecutions=reexecutions,
+            recovery_overhead_seconds=adjusted - assignment.makespan,
         )
         return SimulationReport(
             measured=measured,
@@ -262,6 +327,8 @@ class ClusterSimulator:
             eval_seconds = 1.0 / node.eval_rate
 
         total_makespan = 0.0
+        total_adjusted = 0.0
+        total_reexecutions = 0.0
         total_replicas = 0
         peak_round_bytes = 0
         max_ws_elems = 0
@@ -273,6 +340,7 @@ class ClusterSimulator:
 
         for round_ in schedule.rounds():
             costs = []
+            refetch = []
             for task in round_.tasks:
                 profile = TaskProfile(
                     subset_id=task.task_index,
@@ -285,14 +353,22 @@ class ClusterSimulator:
                         self._task_seconds(profile, element_size, eval_seconds, node),
                     )
                 )
+                refetch.append(
+                    self.network.transfer_time(profile.num_members * element_size)
+                )
                 max_ws_elems = max(max_ws_elems, profile.num_members)
                 total_evals += profile.num_evaluations
                 max_task_evals = max(max_task_evals, profile.num_evaluations)
-            assignment = self._schedule(costs, self.cluster)
+            assignment = self._place(costs)
+            adjusted, reexecutions = self._failure_impact(
+                costs, refetch, assignment.makespan
+            )
             last_assignment = assignment
             for slot, load in assignment.slot_loads.items():
                 merged_loads[slot] = merged_loads.get(slot, 0.0) + load
             total_makespan += assignment.makespan
+            total_adjusted += adjusted
+            total_reexecutions += reexecutions
             total_replicas += round_.replicas
             peak_round_bytes = max(peak_round_bytes, round_.replicas * element_size)
             num_tasks += len(round_.tasks)
@@ -312,6 +388,9 @@ class ClusterSimulator:
             total_evaluations=total_evals,
             max_evaluations_per_task=max_task_evals,
             makespan_seconds=total_makespan,
+            makespan_failure_adjusted=total_adjusted,
+            expected_reexecutions=total_reexecutions,
+            recovery_overhead_seconds=total_adjusted - total_makespan,
         )
         assignment = last_assignment or Assignment(placement={}, slot_loads={})
         assignment = Assignment(placement=assignment.placement, slot_loads=merged_loads)

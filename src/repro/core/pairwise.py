@@ -269,6 +269,16 @@ class PairwiseComputation:
         and both orientations are evaluated — element i receives
         ``comp(sᵢ, sⱼ)``, element j receives ``comp(sⱼ, sᵢ)`` (the §1
         footnote's "marginal modification").
+    runtime_config:
+        Extra ``job.config`` entries merged into every job this
+        computation builds — the pass-through for the engine's
+        fault-tolerance knobs (``task_timeout_seconds``,
+        ``speculative_execution``, ``fault_plan``, …; see
+        :class:`~repro.mapreduce.job.Job`).  Application keys
+        (``scheme``/``comp``/``aggregator``/``symmetric``) always win.
+    max_attempts:
+        Task retry budget applied to every job built here (Hadoop's
+        ``mapred.map.max.attempts``); default 1, i.e. fail fast.
     """
 
     def __init__(
@@ -280,6 +290,8 @@ class PairwiseComputation:
         engine: Engine | None = None,
         num_reduce_tasks: int | None = None,
         symmetric: bool = True,
+        runtime_config: Mapping[str, Any] | None = None,
+        max_attempts: int = 1,
     ):
         self.scheme = scheme
         self.comp = comp
@@ -291,6 +303,14 @@ class PairwiseComputation:
         if num_reduce_tasks < 1:
             raise ValueError(f"num_reduce_tasks must be >= 1, got {num_reduce_tasks}")
         self.num_reduce_tasks = num_reduce_tasks
+        self.runtime_config = dict(runtime_config or {})
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.max_attempts = max_attempts
+
+    def _job_config(self, **app_keys: Any) -> dict[str, Any]:
+        """Runtime knobs first, application keys on top (apps win)."""
+        return {**self.runtime_config, **app_keys}
 
     # -- input handling --------------------------------------------------------
     def _as_elements(self, dataset: Sequence[Any]) -> list[Element]:
@@ -314,24 +334,26 @@ class PairwiseComputation:
     # -- execution paths --------------------------------------------------------
     def build_jobs(self) -> tuple[Job, Job]:
         """The two MR jobs of the generic algorithm (for inspection/chaining)."""
-        config = {
-            "scheme": self.scheme,
-            "comp": self.comp,
-            "aggregator": self.aggregator,
-            "symmetric": self.symmetric,
-        }
+        config = self._job_config(
+            scheme=self.scheme,
+            comp=self.comp,
+            aggregator=self.aggregator,
+            symmetric=self.symmetric,
+        )
         job1 = Job(
             name="pairwise-distribute-compute",
             mapper=DistributeMapper,
             reducer=ComputeReducer,
             num_reducers=self.num_reduce_tasks,
             config=config,
+            max_attempts=self.max_attempts,
         )
         job2 = Job(
             name="pairwise-aggregate",
             reducer=AggregateReducer,
             num_reducers=self.num_reduce_tasks,
             config=config,
+            max_attempts=self.max_attempts,
         )
         return job1, job2
 
@@ -379,12 +401,12 @@ class PairwiseComputation:
         elements = self._as_elements(dataset)
         payloads = {element.eid: element.payload for element in elements}
         cache = {"dataset": payloads}
-        config = {
-            "scheme": self.scheme,
-            "comp": self.comp,
-            "aggregator": self.aggregator,
-            "symmetric": self.symmetric,
-        }
+        config = self._job_config(
+            scheme=self.scheme,
+            comp=self.comp,
+            aggregator=self.aggregator,
+            symmetric=self.symmetric,
+        )
         job1 = Job(
             name="pairwise-distribute-compute-cached",
             mapper=CachedDistributeMapper,
@@ -392,6 +414,7 @@ class PairwiseComputation:
             num_reducers=self.num_reduce_tasks,
             cache=cache,
             config=config,
+            max_attempts=self.max_attempts,
         )
         job2 = Job(
             name="pairwise-aggregate-cached",
@@ -399,6 +422,7 @@ class PairwiseComputation:
             num_reducers=self.num_reduce_tasks,
             cache=cache,
             config=config,
+            max_attempts=self.max_attempts,
         )
         pipeline = Pipeline([job1, job2], engine=self.engine)
         input_records = [(element.eid, None) for element in elements]
@@ -432,12 +456,13 @@ class PairwiseComputation:
             reducer=BroadcastAggregateReducer,
             num_reducers=self.num_reduce_tasks,
             cache={"dataset": payloads},
-            config={
-                "scheme": self.scheme,
-                "comp": self.comp,
-                "aggregator": self.aggregator,
-                "symmetric": self.symmetric,
-            },
+            config=self._job_config(
+                scheme=self.scheme,
+                comp=self.comp,
+                aggregator=self.aggregator,
+                symmetric=self.symmetric,
+            ),
+            max_attempts=self.max_attempts,
         )
         # One input record per task; one split per task mirrors Hadoop's
         # one-mapper-per-task launch of the paper's implementation.

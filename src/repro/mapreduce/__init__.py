@@ -19,6 +19,16 @@ from .counters import (
     Counters,
 )
 from .extsort import ExternalSorter, sorted_groups
+from .faults import (
+    CrashFault,
+    FaultPlan,
+    InjectedCrash,
+    InjectedWorkerDeath,
+    PoisonedRecordError,
+    PoisonFault,
+    SlowFault,
+    WorkerKillFault,
+)
 from .partitioners import RangePartitioner, is_globally_sorted
 from .hdfs import DistributedFileSystem
 from .job import (
@@ -30,6 +40,8 @@ from .job import (
     Mapper,
     Reducer,
     TaskFailedError,
+    TaskLostError,
+    TaskTimeoutError,
     records_from,
 )
 from .pipeline import Pipeline, PipelineResult
@@ -56,6 +68,7 @@ from .textio import (
 __all__ = [
     "Context",
     "Counters",
+    "CrashFault",
     "DEFAULT_RECORDS_PER_SPLIT",
     "DEFAULT_SPILL_THRESHOLD_BYTES",
     "DistributedFileSystem",
@@ -63,8 +76,11 @@ __all__ = [
     "EngineStats",
     "ExternalSorter",
     "FRAMEWORK_GROUP",
+    "FaultPlan",
     "IdentityMapper",
     "IdentityReducer",
+    "InjectedCrash",
+    "InjectedWorkerDeath",
     "Job",
     "JobResult",
     "MAP_INPUT_RECORDS",
@@ -75,6 +91,8 @@ __all__ = [
     "PickleCodec",
     "Pipeline",
     "PipelineResult",
+    "PoisonFault",
+    "PoisonedRecordError",
     "REDUCE_INPUT_GROUPS",
     "REDUCE_INPUT_RECORDS",
     "REDUCE_OUTPUT_RECORDS",
@@ -84,11 +102,15 @@ __all__ = [
     "SHUFFLE_RECORDS",
     "SerialEngine",
     "SizedPayload",
+    "SlowFault",
     "Split",
     "StreamingMapper",
     "StreamingProtocolError",
     "StreamingReducer",
     "TaskFailedError",
+    "TaskLostError",
+    "TaskTimeoutError",
+    "WorkerKillFault",
     "assign_round_robin",
     "hash_partition",
     "is_globally_sorted",

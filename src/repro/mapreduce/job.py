@@ -120,7 +120,7 @@ class Job:
     from scratch (fresh mapper/reducer instance, fresh context) up to
     that many times before the job fails.
 
-    The engine itself reads two optional ``config`` keys:
+    The engine itself reads these optional ``config`` keys:
 
     - ``"records_per_split"`` — records per map split when the caller does
       not pass ``num_map_tasks`` (default
@@ -129,6 +129,25 @@ class Job:
       exceeds this go through the external merge sort instead of an
       in-memory sort (default
       :data:`~repro.mapreduce.runtime.DEFAULT_SPILL_THRESHOLD_BYTES`).
+
+    Fault-tolerance knobs (all off by default; see
+    :mod:`repro.mapreduce.faults` and the DESIGN "Fault model" section):
+
+    - ``"task_timeout_seconds"`` — per-attempt wall-clock budget (Hadoop's
+      ``mapred.task.timeout``).  An attempt that exceeds it counts as a
+      failed attempt (:class:`TaskTimeoutError`, retried under
+      ``max_attempts``); on the multiprocess engine a *hung* attempt that
+      never returns is killed with its worker pool and re-dispatched.
+    - ``"retry_backoff_seconds"`` — base delay between attempts; grows
+      exponentially per retry with deterministic jitter (0 disables).
+    - ``"speculative_execution"`` (bool) — Hadoop-style backup attempts on
+      the multiprocess engine: near the end of a task batch, a task running
+      past ``"speculative_multiplier"`` (default 2.0) × the median task
+      time gets a backup attempt; the first finisher wins.
+      ``"speculative_fraction"`` (default 0.25) sets the "near the end"
+      threshold as a fraction of tasks still unfinished.
+    - ``"fault_plan"`` — a :class:`~repro.mapreduce.faults.FaultPlan` for
+      deterministic fault injection (tests/benchmarks only).
     """
 
     name: str
@@ -163,8 +182,14 @@ class TaskFailedError(RuntimeError):
     ``causes`` lists all failed attempts in order.  The engine chains each
     attempt's exception to the previous one via ``__cause__`` before
     raising, so a traceback shows the whole retry history, not just the
-    final error.
+    final error.  When the failure happened inside a
+    :class:`~repro.mapreduce.pipeline.Pipeline`, ``stage_index`` and
+    ``job_name`` identify the stage that died.
     """
+
+    #: set by Pipeline when a chained stage fails
+    stage_index: int | None = None
+    job_name: str | None = None
 
     def __init__(
         self,
@@ -189,6 +214,56 @@ class TaskFailedError(RuntimeError):
             type(self),
             (self.task_kind, self.attempts, self.cause, self.causes),
         )
+
+
+class TaskTimeoutError(RuntimeError):
+    """A task attempt exceeded the job's ``task_timeout_seconds`` budget.
+
+    Raised *per attempt* inside the engine's retry loop — the task is
+    re-executed like any other failed attempt until ``max_attempts`` runs
+    out (then it surfaces wrapped in :class:`TaskFailedError`).
+    """
+
+    def __init__(
+        self, task_kind: str, task_index: int, attempt: int, elapsed: float, limit: float
+    ):
+        super().__init__(
+            f"{task_kind} task {task_index} attempt {attempt} ran "
+            f"{elapsed:.3f}s, over the {limit:.3f}s timeout"
+        )
+        self.task_kind = task_kind
+        self.task_index = task_index
+        self.attempt = attempt
+        self.elapsed = elapsed
+        self.limit = limit
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.task_kind, self.task_index, self.attempt, self.elapsed, self.limit),
+        )
+
+
+class TaskLostError(RuntimeError):
+    """A task's attempts were lost with dead worker processes.
+
+    The multiprocess engine charges an attempt to every task that was
+    in flight when its pool broke (or was killed for a hang); a task whose
+    ``max_attempts`` budget is consumed entirely by lost attempts fails
+    with this as the :class:`TaskFailedError` cause.
+    """
+
+    def __init__(self, task_kind: str, task_index: int, attempts: int):
+        super().__init__(
+            f"{task_kind} task {task_index} lost {attempts} attempt(s) to "
+            "dead or timed-out worker processes"
+        )
+        self.task_kind = task_kind
+        self.task_index = task_index
+        self.attempts = attempts
+
+    def __reduce__(self):
+        return (type(self), (self.task_kind, self.task_index, self.attempts))
 
 
 @dataclass

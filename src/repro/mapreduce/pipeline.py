@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from .counters import Counters
-from .job import Job, JobResult, KeyValue
+from .job import Job, JobResult, KeyValue, TaskFailedError
 from .runtime import Engine, SerialEngine
 
 
@@ -74,11 +74,22 @@ class Pipeline:
         *,
         num_map_tasks: int | None = None,
     ) -> PipelineResult:
-        """Run all jobs; stage i+1 consumes stage i's output records."""
+        """Run all jobs; stage i+1 consumes stage i's output records.
+
+        A stage's :class:`~repro.mapreduce.job.TaskFailedError` is
+        re-raised annotated with ``stage_index`` and ``job_name``, so a
+        failure deep in a chain names the job that died; the engine (and
+        its worker pool) stays usable for the next ``run``.
+        """
         result = PipelineResult()
         records: Sequence[KeyValue] = input_records
-        for job in self.jobs:
-            stage = self.engine.run(job, records, num_map_tasks=num_map_tasks)
+        for index, job in enumerate(self.jobs):
+            try:
+                stage = self.engine.run(job, records, num_map_tasks=num_map_tasks)
+            except TaskFailedError as exc:
+                exc.stage_index = index
+                exc.job_name = job.name
+                raise
             result.stages.append(stage)
             records = stage.records
         return result

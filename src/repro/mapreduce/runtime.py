@@ -36,19 +36,50 @@ stage) that the evaluation harness compares against the paper's Table-1
 predictions.  Engine-level dispatch metrics (bytes pickled, broadcast
 loads) are deliberately kept *out* of job counters so serial and pooled
 runs stay bit-identical.
+
+**Fault tolerance.**  Task execution mirrors Hadoop 0.20's fault model
+(the paper's premise that commodity-cluster failures are survivable):
+
+- every attempt runs under an optional per-task wall-clock budget
+  (``config["task_timeout_seconds"]``) — an over-budget attempt fails and
+  retries; on the pooled engine a *hung* attempt is killed with its
+  worker pool and the lost tasks re-dispatched;
+- retries back off exponentially with deterministic jitter
+  (``config["retry_backoff_seconds"]``);
+- a dead worker process (``BrokenProcessPool``) is recovered
+  transparently: the pool is respawned, new workers re-localize the job
+  broadcast lazily from the (still on disk) broadcast file, and only the
+  tasks that were in flight are re-run — each charged one attempt;
+- near the end of a task batch, stragglers get Hadoop-style speculative
+  backup attempts (``config["speculative_execution"]``); the first
+  finisher wins and the loser's output is discarded, so results stay
+  bit-identical to :class:`SerialEngine`;
+- deterministic fault injection (``config["fault_plan"]``, a
+  :class:`~repro.mapreduce.faults.FaultPlan`) makes all of the above
+  reproducibly testable.
+
+Attempt numbering is global: attempts lost driver-side (dead worker,
+hang kill) advance the same 1-based counter the worker-side retry loop
+uses, so ``max_attempts`` bounds the *total* effort per task and
+attempt-pinned injected faults never re-fire on re-dispatch.
 """
 
 from __future__ import annotations
 
+import math
 import os
 import pickle
+import statistics
 import tempfile
+import time
 import weakref
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Sequence
+
+from .faults import FaultPlan, PoisonedRecordError, _draw
 
 from .counters import (
     COMBINE_INPUT_RECORDS,
@@ -65,7 +96,15 @@ from .counters import (
     Counters,
 )
 from .extsort import ExternalSorter, sorted_groups
-from .job import Context, Job, JobResult, KeyValue, TaskFailedError
+from .job import (
+    Context,
+    Job,
+    JobResult,
+    KeyValue,
+    TaskFailedError,
+    TaskLostError,
+    TaskTimeoutError,
+)
 from .serialization import decode_records, encode_records, record_size
 from .shuffle import partition_with_sizes, sort_and_group
 from .splits import Split, split_by_count
@@ -91,9 +130,22 @@ REDUCE_SPILL_RUNS = "reduce_spill_runs"
 
 #: Framework counter: failed attempts absorbed by retries (equals
 #: ``task_retries`` per winning task, but named so retry storms are
-#: legible in :class:`~repro.mapreduce.job.JobResult` counters).
+#: legible in :class:`~repro.mapreduce.job.JobResult` counters).  Lost
+#: attempts (worker death, hang kill) are charged too — the winning
+#: re-dispatch reports them, so a recovered worker crash is visible in
+#: job counters even though no exception ever reached the retry loop.
 TASK_FAILURES = "task_failures"
 TASK_RETRIES = "task_retries"
+#: Framework counter: total attempts used by winning tasks (1 per task on
+#: a clean run; retries and lost attempts raise it).
+TASK_ATTEMPTS = "task_attempts"
+#: Framework counter: attempts that failed the post-hoc wall-clock check
+#: (attempt finished but over ``task_timeout_seconds``).  Driver-side hang
+#: kills are metered separately in :attr:`EngineStats.tasks_timed_out`.
+TASKS_TIMED_OUT = "tasks_timed_out"
+
+#: driver polling cadence for completion/hang/speculation checks
+_POLL_SECONDS = 0.05
 
 
 @dataclass(frozen=True)
@@ -119,6 +171,13 @@ class _MapTaskSpec:
     num_partitions: int
     #: pre-encode partition chunks worker-side (pooled engine only)
     encode: bool = False
+    #: position of this task within its phase (fault plans key on it)
+    task_index: int = 0
+    #: 1-based global attempt this dispatch starts at (> 1 after the
+    #: driver lost earlier attempts to a dead/hung worker)
+    first_attempt: int = 1
+    #: True for a speculative backup dispatch of a straggling task
+    speculative: bool = False
 
 
 @dataclass
@@ -130,12 +189,20 @@ class _ReduceTaskSpec:
     chunks: list[bytes] | None
     #: accounted partition size (map-reported sums) driving the spill path
     partition_bytes: int = 0
+    task_index: int = 0
+    first_attempt: int = 1
+    speculative: bool = False
 
 
 # -- worker-side job registry -------------------------------------------------
 #: jobs this worker has loaded from broadcast files, keyed by _JobRef.uid
 _WORKER_JOBS: dict[str, Job] = {}
 _WORKER_JOB_CAP = 8
+
+#: True inside pool worker processes (set by the initializer).  Injected
+#: worker-kill faults only take the process down when this is set; the
+#: serial engine degrades them to ordinary task failures.
+_IS_POOL_WORKER = False
 
 
 def _worker_init() -> None:
@@ -145,6 +212,8 @@ def _worker_init() -> None:
     whatever the driver process had resident; clearing keeps the
     load-once-per-worker accounting honest.
     """
+    global _IS_POOL_WORKER
+    _IS_POOL_WORKER = True
     _WORKER_JOBS.clear()
 
 
@@ -169,6 +238,33 @@ def _resolve_job(handle: Any) -> tuple[Job, dict]:
     return job, {"pid": os.getpid(), "loaded": True}
 
 
+def _marker_path(handle: _JobRef, kind: str, task_index: int, attempt: int) -> Path:
+    """Attempt-began marker: proves to the driver an attempt ran at all.
+
+    Workers touch it at the start of every attempt (same directory as the
+    job broadcast).  When the pool dies, the driver charges a lost attempt
+    only to tasks whose current attempt's marker exists — queued tasks
+    that never started are re-dispatched free, exactly like Hadoop
+    re-queues (rather than fails) tasks from a lost TaskTracker.
+    """
+    base = Path(handle.path)
+    return base.parent / f"{base.stem}.{kind}.{task_index}.{attempt}.began"
+
+
+def _attempt_marker(handle: Any, kind: str, task_index: int):
+    """Worker-side marker writer for pooled specs (None for in-process)."""
+    if not isinstance(handle, _JobRef):
+        return None
+
+    def mark(attempt: int) -> None:
+        try:
+            _marker_path(handle, kind, task_index, attempt).touch()
+        except OSError:  # pragma: no cover - marker loss only skews charging
+            pass
+
+    return mark
+
+
 def _execute_map_task(spec: _MapTaskSpec) -> tuple[tuple, dict, dict]:
     """Run one map task with retries.
 
@@ -178,20 +274,34 @@ def _execute_map_task(spec: _MapTaskSpec) -> tuple[tuple, dict, dict]:
     """
     job, info = _resolve_job(spec.job)
     (partitions, counts, sizes), counters = _with_retries(
-        "map", job, lambda: _map_attempt(job, spec)
+        "map",
+        job,
+        lambda attempt: _map_attempt(job, spec, attempt),
+        task_index=spec.task_index,
+        first_attempt=spec.first_attempt,
+        speculative=spec.speculative,
+        marker=_attempt_marker(spec.job, "map", spec.task_index),
     )
     if spec.encode:
         partitions = [encode_records(part) for part in partitions]
     return (partitions, counts, sizes), counters, info
 
 
-def _map_attempt(job: Job, spec: _MapTaskSpec) -> tuple[tuple, dict]:
+def _map_attempt(job: Job, spec: _MapTaskSpec, attempt: int) -> tuple[tuple, dict]:
     """One attempt of a map task (fresh mapper + context)."""
+    plan: FaultPlan | None = job.config.get("fault_plan")
     counters = Counters()
     context = Context(counters, cache=job.cache, config=job.config)
     mapper = job.mapper()
     mapper.setup(context)
-    for key, value in spec.records:
+    for ordinal, (key, value) in enumerate(spec.records):
+        if plan is not None and plan.poisons(
+            "map", spec.task_index, attempt, ordinal, speculative=spec.speculative
+        ):
+            raise PoisonedRecordError(
+                f"poisoned record {ordinal} in map task {spec.task_index} "
+                f"(attempt {attempt})"
+            )
         counters.increment(FRAMEWORK_GROUP, MAP_INPUT_RECORDS)
         mapper.map(key, value, context)
     mapper.cleanup(context)
@@ -242,12 +352,38 @@ def _execute_reduce_task(spec: _ReduceTaskSpec) -> tuple[list[KeyValue], dict, d
     else:
         records = spec.records or []
     output, counters = _with_retries(
-        "reduce", job, lambda: _reduce_attempt(job, records, spec.partition_bytes)
+        "reduce",
+        job,
+        lambda attempt: _reduce_attempt(job, records, spec.partition_bytes),
+        task_index=spec.task_index,
+        first_attempt=spec.first_attempt,
+        speculative=spec.speculative,
+        marker=_attempt_marker(spec.job, "reduce", spec.task_index),
     )
     return output, counters, info
 
 
-def _with_retries(kind: str, job: Job, attempt: Callable[[], Any]) -> Any:
+def _backoff_seconds(base: float, kind: str, task_index: int, attempt: int) -> float:
+    """Exponential backoff with deterministic full jitter before ``attempt``.
+
+    The window doubles per retry (attempt 2 waits ~``base``, attempt 3
+    ~``2·base``, ...); the actual delay is a uniform draw from the upper
+    half of the window, keyed by task identity so reruns sleep the same.
+    """
+    window = base * (2 ** max(0, attempt - 2))
+    return window * (0.5 + 0.5 * _draw(0, kind, task_index, f"backoff{attempt}"))
+
+
+def _with_retries(
+    kind: str,
+    job: Job,
+    attempt_fn: Callable[[int], Any],
+    *,
+    task_index: int = 0,
+    first_attempt: int = 1,
+    speculative: bool = False,
+    marker: Callable[[int], None] | None = None,
+) -> Any:
     """Hadoop's attempt loop: re-run a failed task up to job.max_attempts.
 
     Each retry gets a completely fresh attempt (new task object, new
@@ -255,24 +391,69 @@ def _with_retries(kind: str, job: Job, attempt: Callable[[], Any]) -> Any:
     leak — the engine only ever keeps a *successful* attempt's output.
     Every failed attempt's exception is chained to the previous one via
     ``__cause__`` (the full retry history survives in the traceback) and
-    counted: the winning attempt's counters carry ``task_retries`` and
-    ``task_failures`` so retry storms show up in job results.
+    counted: the winning attempt's counters carry ``task_retries``,
+    ``task_failures`` and ``task_attempts`` so retry storms show up in job
+    results — including attempts lost *before* this loop ran
+    (``first_attempt > 1`` means the driver already lost that many to dead
+    workers, and they are charged here on success).
+
+    Per attempt, in order: optional injected faults fire
+    (``config["fault_plan"]``), the attempt runs under the post-hoc
+    wall-clock check (``config["task_timeout_seconds"]``), and failures
+    sleep an exponentially growing, deterministically jittered backoff
+    (``config["retry_backoff_seconds"]``) before the next attempt.
     """
+    plan: FaultPlan | None = job.config.get("fault_plan")
+    timeout = job.config.get("task_timeout_seconds")
+    limit = float(timeout) if timeout is not None else None
+    backoff = float(job.config.get("retry_backoff_seconds", 0.0))
     failures: list[BaseException] = []
-    for _attempt_number in range(1, job.max_attempts + 1):
+    timeouts = 0
+    attempt = first_attempt
+    while attempt <= job.max_attempts:
+        if failures and backoff > 0:
+            time.sleep(_backoff_seconds(backoff, kind, task_index, attempt))
         try:
-            result, counters = attempt()
+            if marker is not None:
+                marker(attempt)
+            # The clock starts before injected faults so a SlowFault delay
+            # counts as attempt time — injected stragglers trip the same
+            # timeout a genuinely slow attempt would.
+            started = time.monotonic()
+            if plan is not None:
+                plan.fire(
+                    kind,
+                    task_index,
+                    attempt,
+                    speculative=speculative,
+                    in_worker=_IS_POOL_WORKER,
+                )
+            result, counters = attempt_fn(attempt)
+            elapsed = time.monotonic() - started
+            if limit is not None and elapsed > limit:
+                raise TaskTimeoutError(kind, task_index, attempt, elapsed, limit)
         except Exception as exc:  # noqa: BLE001 - task code may raise anything
             if failures:
                 exc.__cause__ = failures[-1]
             failures.append(exc)
+            if isinstance(exc, TaskTimeoutError):
+                timeouts += 1
+            attempt += 1
             continue
-        if failures:
-            counters.setdefault(FRAMEWORK_GROUP, {})
-            framework = counters[FRAMEWORK_GROUP]
-            framework[TASK_RETRIES] = framework.get(TASK_RETRIES, 0) + len(failures)
-            framework[TASK_FAILURES] = framework.get(TASK_FAILURES, 0) + len(failures)
+        lost = first_attempt - 1
+        fail_count = len(failures) + lost
+        counters.setdefault(FRAMEWORK_GROUP, {})
+        framework = counters[FRAMEWORK_GROUP]
+        framework[TASK_ATTEMPTS] = framework.get(TASK_ATTEMPTS, 0) + attempt
+        if fail_count:
+            framework[TASK_RETRIES] = framework.get(TASK_RETRIES, 0) + fail_count
+            framework[TASK_FAILURES] = framework.get(TASK_FAILURES, 0) + fail_count
+        if timeouts:
+            framework[TASKS_TIMED_OUT] = framework.get(TASKS_TIMED_OUT, 0) + timeouts
         return result, counters
+    if not failures:  # budget consumed entirely by driver-side lost attempts
+        lost_error = TaskLostError(kind, task_index, first_attempt - 1)
+        raise TaskFailedError(kind, job.max_attempts, lost_error, causes=[lost_error])
     raise TaskFailedError(
         kind, job.max_attempts, failures[-1], causes=failures
     ) from failures[-1]
@@ -348,6 +529,14 @@ class EngineStats:
     accounting.  ``broadcast_loads`` counts one-shot job localizations
     (at most one per worker per job); ``worker_pids`` the distinct workers
     that executed tasks.
+
+    The fault-tolerance metrics meter the driver's recovery work:
+    ``pool_restarts`` (worker pool respawned after a dead worker or hang
+    kill), ``tasks_relaunched`` (task dispatches re-issued after a pool
+    restart), ``tasks_timed_out`` (hung attempts the driver killed —
+    post-hoc attempt timeouts are job counters instead),
+    ``speculative_launched``/``speculative_wasted`` (backup attempts
+    started / attempts whose output lost the race and was discarded).
     """
 
     pools_created: int = 0
@@ -357,6 +546,11 @@ class EngineStats:
     tasks_dispatched: int = 0
     broadcast_loads: int = 0
     worker_pids: set = field(default_factory=set)
+    pool_restarts: int = 0
+    tasks_relaunched: int = 0
+    tasks_timed_out: int = 0
+    speculative_launched: int = 0
+    speculative_wasted: int = 0
 
     @property
     def bytes_pickled(self) -> int:
@@ -418,10 +612,11 @@ class Engine:
                 records=split.records,
                 num_partitions=num_partitions,
                 encode=encode,
+                task_index=index,
             )
-            for split in splits
+            for index, split in enumerate(splits)
         ]
-        map_outputs = self._run_tasks(map_specs)
+        map_outputs = self._run_tasks(map_specs, job)
 
         counters = Counters()
         slots = max(1, num_partitions)
@@ -462,10 +657,11 @@ class Engine:
                 records=None if encode else gathered[index],
                 chunks=gathered[index] if encode else None,
                 partition_bytes=part_bytes[index],
+                task_index=index,
             )
             for index in range(num_partitions)
         ]
-        reduce_outputs = self._run_tasks(reduce_specs)
+        reduce_outputs = self._run_tasks(reduce_specs, job)
         records = []
         for output, counter_dict, info in reduce_outputs:
             counters.merge(Counters.from_dict(counter_dict))
@@ -498,14 +694,21 @@ class Engine:
     def _note_worker(self, info: dict) -> None:
         """Fold one task's worker info into engine stats (noop by default)."""
 
-    def _run_tasks(self, specs: list[Any]) -> list[Any]:
+    def _run_tasks(self, specs: list[Any], job: Job) -> list[Any]:
         raise NotImplementedError
 
 
 class SerialEngine(Engine):
-    """Run every task in-process, one after another (deterministic)."""
+    """Run every task in-process, one after another (deterministic).
 
-    def _run_tasks(self, specs: list[Any]) -> list[Any]:
+    Fault-tolerance semantics are the worker-side subset: injected
+    crashes/poisons/slow-tasks, retry backoff and the post-hoc attempt
+    timeout all apply; worker-kill faults degrade to ordinary task
+    failures and hung attempts cannot be preempted (there is no second
+    process to kill them from).
+    """
+
+    def _run_tasks(self, specs: list[Any], job: Job) -> list[Any]:
         return [_run_spec(spec) for spec in specs]
 
 
@@ -584,28 +787,195 @@ class MultiprocessEngine(Engine):
 
     def _release_job(self, handle: Any) -> None:
         if isinstance(handle, _JobRef):
-            Path(handle.path).unlink(missing_ok=True)
+            base = Path(handle.path)
+            base.unlink(missing_ok=True)
+            for marker in base.parent.glob(f"{base.stem}.*.began"):
+                marker.unlink(missing_ok=True)
 
     def _note_worker(self, info: dict) -> None:
         self.stats.worker_pids.add(info["pid"])
         if info["loaded"]:
             self.stats.broadcast_loads += 1
 
-    def _run_tasks(self, specs: list[Any]) -> list[Any]:
+    def _teardown_pool(self, *, kill: bool = False) -> None:
+        """Drop the current pool; ``kill`` terminates workers first.
+
+        Killing is how hung tasks are cancelled: a worker stuck in task
+        code never returns on its own, so the driver terminates the
+        processes and lets the next :meth:`_ensure_pool` respawn a fresh
+        pool (new workers re-localize broadcasts lazily from disk).
+        """
+        pool = self._resources.pop("pool", None)
+        if pool is None:
+            return
+        if kill:
+            for process in list((getattr(pool, "_processes", None) or {}).values()):
+                process.terminate()
+        pool.shutdown(wait=True, cancel_futures=True)
+
+    def _run_tasks(self, specs: list[Any], job: Job) -> list[Any]:
+        """Dispatch one phase's tasks with recovery and speculation.
+
+        A future-per-dispatch loop replaces ``pool.map`` so the driver can
+        (a) respawn a broken pool and re-run only the lost in-flight
+        tasks, (b) kill attempts that hang past the task timeout, and
+        (c) launch speculative backup attempts for end-of-phase
+        stragglers.  Results are keyed by task index, so output order —
+        and therefore job results — is identical to :class:`SerialEngine`
+        no matter which attempt of a task wins.
+        """
         if not specs:
             return []
-        pool = self._ensure_pool()
-        payloads = []
-        for spec in specs:
-            data = pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
-            self.stats.spec_bytes += len(data)
-            payloads.append(data)
-        self.stats.tasks_dispatched += len(specs)
-        try:
-            return list(pool.map(_run_pickled_spec, payloads))
-        except BrokenProcessPool:
-            # A dead worker poisons the executor; drop it so the next run
-            # starts a fresh pool instead of failing forever.
-            self._resources.pop("pool", None)
-            pool.shutdown(wait=False, cancel_futures=True)
-            raise
+        kind = "map" if isinstance(specs[0], _MapTaskSpec) else "reduce"
+        timeout = job.config.get("task_timeout_seconds")
+        limit = float(timeout) if timeout is not None else None
+        speculate = bool(job.config.get("speculative_execution", False))
+        multiplier = float(job.config.get("speculative_multiplier", 2.0))
+        fraction = float(job.config.get("speculative_fraction", 0.25))
+
+        total = len(specs)
+        results: dict[int, Any] = {}
+        next_attempt = {index: 1 for index in range(total)}
+        durations: list[float] = []
+        inflight: dict[Future, int] = {}
+        launched_at: dict[Future, float] = {}
+        started_at: dict[Future, float] = {}
+        budget: dict[Future, float] = {}
+        errors: dict[int, BaseException] = {}
+
+        def active_attempts(index: int) -> int:
+            return sum(1 for i in inflight.values() if i == index)
+
+        def dispatch(index: int, *, speculative: bool = False) -> None:
+            spec = specs[index]
+            spec.first_attempt = next_attempt[index]
+            spec.speculative = speculative
+            payload = pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+            self.stats.spec_bytes += len(payload)
+            self.stats.tasks_dispatched += 1
+            future = self._ensure_pool().submit(_run_pickled_spec, payload)
+            inflight[future] = index
+            launched_at[future] = time.monotonic()
+            if limit is not None:
+                # A started attempt may legitimately consume the whole
+                # remaining retry budget worker-side (each local retry gets
+                # its own post-hoc window) before the driver declares it
+                # hung; the slack absorbs dispatch/pickling overhead.
+                remaining = job.max_attempts - next_attempt[index] + 1
+                budget[future] = limit * remaining + max(1.0, limit)
+
+        def resolve(index: int, future: Future, output: Any, now: float) -> None:
+            results[index] = output
+            errors.pop(index, None)
+            durations.append(now - started_at.get(future, launched_at[future]))
+            # Any sibling attempt still out is wasted speculative work:
+            # cancel it if it never started, discard its output otherwise.
+            for other, other_index in list(inflight.items()):
+                if other_index == index:
+                    self.stats.speculative_wasted += 1
+                    if other.cancel():
+                        inflight.pop(other, None)
+
+        def restart_pool() -> None:
+            """Respawn the pool; re-dispatch and charge unfinished tasks.
+
+            A task is charged one lost attempt iff its current attempt's
+            began-marker exists — i.e. a worker actually started it before
+            the pool died.  Queued tasks re-dispatch on the same attempt
+            number, so their attempt-pinned faults and retry budget are
+            untouched.
+            """
+            self.stats.pool_restarts += 1
+            charged: set[int] = set()
+            for index in range(total):
+                if index in results or index in charged:
+                    continue
+                handle = specs[index].job
+                if isinstance(handle, _JobRef) and _marker_path(
+                    handle, kind, specs[index].task_index, next_attempt[index]
+                ).exists():
+                    charged.add(index)
+            for index in charged:
+                next_attempt[index] += 1
+            inflight.clear()
+            launched_at.clear()
+            started_at.clear()
+            budget.clear()
+            self._teardown_pool(kill=True)
+            for index in range(total):
+                if index in results:
+                    continue
+                if next_attempt[index] > job.max_attempts:
+                    lost = TaskLostError(
+                        kind, specs[index].task_index, next_attempt[index] - 1
+                    )
+                    raise TaskFailedError(
+                        kind, job.max_attempts, lost, causes=[lost]
+                    )
+                self.stats.tasks_relaunched += 1
+                dispatch(index)
+
+        for index in range(total):
+            dispatch(index)
+
+        while len(results) < total:
+            if not inflight:  # pragma: no cover - defensive
+                raise RuntimeError("engine dispatch lost track of in-flight tasks")
+            done, _ = wait(
+                list(inflight), timeout=_POLL_SECONDS, return_when=FIRST_COMPLETED
+            )
+            now = time.monotonic()
+            for future in list(inflight):
+                if future not in started_at and future.running():
+                    started_at[future] = now
+            broken = False
+            try:
+                for future in done:
+                    index = inflight.pop(future, None)
+                    if index is None or index in results or future.cancelled():
+                        continue  # late loser of an already-resolved task
+                    exc = future.exception()
+                    if exc is None:
+                        resolve(index, future, future.result(), now)
+                        continue
+                    if isinstance(exc, BrokenProcessPool):
+                        broken = True
+                        continue
+                    errors[index] = exc
+                    if active_attempts(index) == 0:
+                        # No backup attempt can save this task: fail the
+                        # job like the serial engine would.
+                        for straggler in inflight:
+                            straggler.cancel()
+                        raise exc
+
+                if not broken and limit is not None:
+                    hung = {
+                        inflight[future]
+                        for future, begun in started_at.items()
+                        if future in inflight
+                        and inflight[future] not in results
+                        and now - begun > budget[future]
+                    }
+                    if hung:
+                        self.stats.tasks_timed_out += len(hung)
+                        restart_pool()
+                        continue
+
+                if not broken and speculate and durations:
+                    remaining = total - len(results)
+                    if remaining <= max(1, math.ceil(fraction * total)):
+                        threshold = multiplier * statistics.median(durations)
+                        for future, index in list(inflight.items()):
+                            if index in results or active_attempts(index) > 1:
+                                continue
+                            begun = started_at.get(future)
+                            if begun is not None and now - begun > threshold:
+                                self.stats.speculative_launched += 1
+                                dispatch(index, speculative=True)
+            except BrokenProcessPool:
+                broken = True
+            if broken:
+                restart_pool()
+
+        return [results[index] for index in range(total)]

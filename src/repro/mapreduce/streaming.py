@@ -33,14 +33,26 @@ class StreamingProtocolError(RuntimeError):
 def _run_command(
     command: Sequence[str], lines: list[str], *, timeout: float
 ) -> list[str]:
-    """Feed lines to a subprocess; return its stdout lines."""
-    process = subprocess.run(
-        list(command),
-        input="".join(line + "\n" for line in lines),
-        capture_output=True,
-        text=True,
-        timeout=timeout,
-    )
+    """Feed lines to a subprocess; return its stdout lines.
+
+    A subprocess that outlives ``timeout`` is killed and surfaces as a
+    :class:`StreamingProtocolError` — an ordinary task failure, so the
+    engine's retry/backoff machinery treats a hung external command like
+    any other failed attempt instead of leaking the raw
+    ``subprocess.TimeoutExpired``.
+    """
+    try:
+        process = subprocess.run(
+            list(command),
+            input="".join(line + "\n" for line in lines),
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+        )
+    except subprocess.TimeoutExpired as exc:
+        raise StreamingProtocolError(
+            f"command {command!r} exceeded its {timeout:g}s timeout"
+        ) from exc
     if process.returncode != 0:
         raise StreamingProtocolError(
             f"command {command!r} exited {process.returncode}: "
@@ -74,6 +86,8 @@ class StreamingMapper(Mapper):
     The command is read from ``config['stream.mapper']`` (a list of argv
     strings); all of a task's input records are fed in one subprocess
     invocation — the per-task granularity Hadoop Streaming uses.
+    ``config['stream.timeout_seconds']`` overrides the class-level
+    subprocess timeout per job.
     """
 
     #: seconds before the subprocess is killed
@@ -87,7 +101,8 @@ class StreamingMapper(Mapper):
 
     def cleanup(self, context: Context) -> None:
         command = context.config["stream.mapper"]
-        for line in _run_command(command, self._pending, timeout=self.timeout):
+        timeout = context.config.get("stream.timeout_seconds", self.timeout)
+        for line in _run_command(command, self._pending, timeout=timeout):
             out_key, out_value = _parse_line(line)
             context.emit(out_key, out_value)
         context.counters.increment("streaming", "mapper_lines_in", len(self._pending))
@@ -98,7 +113,8 @@ class StreamingReducer(Reducer):
 
     Like Hadoop Streaming, the command sees one line per (key, value)
     with equal keys adjacent; it is responsible for detecting group
-    boundaries itself.  Command from ``config['stream.reducer']``.
+    boundaries itself.  Command from ``config['stream.reducer']``;
+    ``config['stream.timeout_seconds']`` overrides the subprocess timeout.
     """
 
     timeout: float = 60.0
@@ -112,7 +128,8 @@ class StreamingReducer(Reducer):
 
     def cleanup(self, context: Context) -> None:
         command = context.config["stream.reducer"]
-        for line in _run_command(command, self._pending, timeout=self.timeout):
+        timeout = context.config.get("stream.timeout_seconds", self.timeout)
+        for line in _run_command(command, self._pending, timeout=timeout):
             out_key, out_value = _parse_line(line)
             context.emit(out_key, out_value)
         context.counters.increment("streaming", "reducer_lines_in", len(self._pending))

@@ -198,6 +198,63 @@ class CollectReducer(Reducer):
         context.emit(key, sorted(v.tag for v in values))
 
 
+class FailingMapper(Mapper):
+    def map(self, key, value, context):
+        raise RuntimeError("stage goes down")
+
+
+class TestPoolReuseAfterFailure:
+    """A failed job must not corrupt the persistent pool for the next one."""
+
+    def test_pool_and_broadcast_survive_task_failed_error(self):
+        from repro.mapreduce.job import TaskFailedError
+
+        with MultiprocessEngine(max_workers=2) as engine:
+            bad = Job(name="bad", mapper=FailingMapper, reducer=None, num_reducers=0)
+            with pytest.raises(TaskFailedError):
+                engine.run(bad, records_from(LINES), num_map_tasks=4)
+            # Same pool, fresh broadcast: the next job's cache localizes
+            # cleanly and produces correct output.
+            good = Job(
+                name="good",
+                mapper=WordSplitMapper,
+                reducer=SumReducer,
+                num_reducers=3,
+                cache={"blob": list(range(1000))},
+            )
+            pooled = engine.run(good, records_from(LINES), num_map_tasks=4)
+            assert engine.stats.pools_created == 1
+            assert engine.stats.jobs_broadcast == 2
+        serial = SerialEngine().run(
+            wordcount_job(cache={"blob": list(range(1000))}),
+            records_from(LINES),
+            num_map_tasks=4,
+        )
+        assert pooled.records == serial.records
+
+    def test_pipeline_failure_names_stage_and_engine_stays_usable(self):
+        from repro.mapreduce.job import TaskFailedError
+        from repro.mapreduce.pipeline import Pipeline
+
+        with MultiprocessEngine(max_workers=2) as engine:
+            chain = Pipeline(
+                [
+                    wordcount_job(name="stage-0"),
+                    Job(name="stage-1", mapper=FailingMapper, reducer=None, num_reducers=0),
+                ],
+                engine=engine,
+            )
+            with pytest.raises(TaskFailedError) as info:
+                chain.run(records_from(LINES), num_map_tasks=4)
+            assert info.value.stage_index == 1
+            assert info.value.job_name == "stage-1"
+            result = Pipeline([wordcount_job()], engine=engine).run(
+                records_from(LINES), num_map_tasks=4
+            )
+        serial = SerialEngine().run(wordcount_job(), records_from(LINES), num_map_tasks=4)
+        assert result.records == serial.records
+
+
 class TestRecordsPerSplitConfig:
     def test_default_constant(self):
         records = records_from(["x"] * (DEFAULT_RECORDS_PER_SPLIT * 2))

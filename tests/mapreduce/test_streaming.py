@@ -85,6 +85,46 @@ class TestStreamingMapper:
         with pytest.raises(TaskFailedError):
             SerialEngine().run(job, [("a", 1)], num_map_tasks=1)
 
+    def test_subprocess_timeout_enters_retry_path(self, tmp_path):
+        """A hung external command fails the task through the engine's
+        retry machinery (wrapped StreamingProtocolError, not a raw
+        subprocess.TimeoutExpired) and a retry can recover it."""
+        flag = tmp_path / "flag"
+        sleeper = python_command(
+            "import os, time\n"
+            f"if not os.path.exists({str(flag)!r}):\n"
+            f"    open({str(flag)!r}, 'w').close()\n"
+            "    time.sleep(30)\n"
+            "for line in sys.stdin:\n"
+            "    print(line.rstrip('\\n'))"
+        )
+        job = Job(
+            name="hang-stream",
+            mapper=StreamingMapper,
+            reducer=None,
+            num_reducers=0,
+            config={"stream.mapper": sleeper, "stream.timeout_seconds": 0.3},
+            max_attempts=2,
+        )
+        result = SerialEngine().run(job, [("a", 1)], num_map_tasks=1)
+        assert result.records == [("a", "1")]
+
+    def test_subprocess_timeout_wrapped_as_protocol_error(self):
+        from repro.mapreduce.job import TaskFailedError
+
+        sleeper = python_command("import time\ntime.sleep(30)")
+        job = Job(
+            name="hang-stream-fatal",
+            mapper=StreamingMapper,
+            reducer=None,
+            num_reducers=0,
+            config={"stream.mapper": sleeper, "stream.timeout_seconds": 0.2},
+        )
+        with pytest.raises(TaskFailedError) as info:
+            SerialEngine().run(job, [("a", 1)], num_map_tasks=1)
+        assert isinstance(info.value.cause, StreamingProtocolError)
+        assert "timeout" in str(info.value.cause)
+
     def test_counter_tracks_lines(self):
         job = Job(
             name="count",
