@@ -19,9 +19,10 @@ Quickstart::
     # elements[1].results == {2: 1.0, 3: 2.0, ...}
 """
 
-from . import apps, cluster, core, designs, mapreduce, workloads
+from . import apps, cluster, core, designs, kernels, mapreduce, workloads
 from ._util import GB, KB, MB, TB
 from .cluster import ClusterSimulator, ClusterSpec, NetworkModel, NodeSpec
+from .kernels import PairKernel, ScalarKernel, available_kernels, resolve_kernel
 from .core import (
     BlockScheme,
     BroadcastScheme,
@@ -66,8 +67,10 @@ __all__ = [
     "MultiprocessEngine",
     "NetworkModel",
     "NodeSpec",
+    "PairKernel",
     "PairwiseComputation",
     "Pipeline",
+    "ScalarKernel",
     "SchemeMetrics",
     "SequentialDesignSchedule",
     "SerialEngine",
@@ -76,14 +79,17 @@ __all__ = [
     "TopKAggregator",
     "apps",
     "assert_valid_scheme",
+    "available_kernels",
     "balance_report",
     "brute_force_results",
     "check_exactly_once",
     "cluster",
     "core",
     "designs",
+    "kernels",
     "mapreduce",
     "pairwise_results",
+    "resolve_kernel",
     "results_matrix",
     "run_rounds",
     "workloads",

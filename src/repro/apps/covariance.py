@@ -18,10 +18,17 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from ..kernels import register_comp
+
 
 def row_inner_product(a: np.ndarray, b: np.ndarray) -> float:
     """Pair function: inner product of two (already centered) rows."""
     return float(np.dot(np.asarray(a, dtype=float), np.asarray(b, dtype=float)))
+
+
+# With kernel="auto", pairwise batches row dot products through the
+# covariance kernel (BLAS gram product on dense working sets).
+register_comp(row_inner_product, "covariance")
 
 
 def center_rows(matrix: np.ndarray) -> list[np.ndarray]:
@@ -61,6 +68,31 @@ def assemble_covariance(
 def covariance_reference(matrix: np.ndarray) -> np.ndarray:
     """Oracle: ``np.cov`` over row variables (the target of the assembly)."""
     return np.cov(np.asarray(matrix, dtype=float), bias=False)
+
+
+def covariance_via_pairwise(
+    matrix: np.ndarray,
+    scheme,
+    *,
+    engine=None,
+    kernel="auto",
+) -> np.ndarray:
+    """End-to-end §1 example: A·Aᵀ as a pairwise computation, assembled.
+
+    Centers the rows, runs the two-job pipeline under ``scheme`` with the
+    covariance kernel selected by default (batched BLAS inner products),
+    and assembles the full matrix.  ``kernel=None`` forces the scalar
+    per-pair dot product.
+    """
+    from ..core.element import results_matrix
+    from ..core.pairwise import PairwiseComputation
+
+    rows = center_rows(matrix)
+    computation = PairwiseComputation(
+        scheme, row_inner_product, engine=engine, kernel=kernel
+    )
+    products = results_matrix(computation.run(list(rows)))
+    return assemble_covariance(products, rows)
 
 
 @dataclass(frozen=True)

@@ -29,6 +29,7 @@ from ..core.aggregate import ThresholdAggregator
 from ..core.element import Element
 from ..core.pairwise import PairwiseComputation
 from ..core.scheme import DistributionScheme
+from ..kernels import register_comp
 
 NOISE = -1
 
@@ -37,6 +38,11 @@ def euclidean_distance(a: np.ndarray, b: np.ndarray) -> float:
     """Symmetric pair function: the L2 distance between two points."""
     diff = np.asarray(a, dtype=float) - np.asarray(b, dtype=float)
     return float(math.sqrt(float(np.dot(diff, diff))))
+
+
+# With kernel="auto", pairwise batches distance evaluation over ndarray
+# payloads through the dense euclidean kernel.
+register_comp(euclidean_distance, "dense-euclidean")
 
 
 @dataclass(frozen=True)

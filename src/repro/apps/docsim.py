@@ -21,29 +21,27 @@ can compare shuffle volumes and evaluation counts, not just results.
 from __future__ import annotations
 
 import math
+import re
 from collections import Counter, defaultdict
 from typing import Iterator, Mapping, Sequence
 
+from ..kernels import register_comp
 from ..mapreduce.job import Context, Job, Mapper, Reducer
 from ..mapreduce.pipeline import Pipeline
 from ..mapreduce.runtime import Engine, SerialEngine
 
 TfIdfVector = dict[str, float]
 
+#: Maximal runs of alphanumeric characters.  ``\w`` matches exactly the
+#: characters ``str.isalnum`` accepts plus the underscore, so excluding
+#: ``_`` makes the regex reproduce the historical char-by-char tokenizer
+#: (isalnum runs, everything else separates) at C speed.
+_TOKEN_RE = re.compile(r"[^\W_]+")
+
 
 def tokenize(text: str) -> list[str]:
     """Lowercase word tokens; punctuation-separated."""
-    out: list[str] = []
-    word: list[str] = []
-    for char in text.lower():
-        if char.isalnum():
-            word.append(char)
-        elif word:
-            out.append("".join(word))
-            word = []
-    if word:
-        out.append("".join(word))
-    return out
+    return _TOKEN_RE.findall(text.lower())
 
 
 def build_tfidf(documents: Sequence[Sequence[str]]) -> list[TfIdfVector]:
@@ -79,6 +77,41 @@ def cosine_similarity(a: Mapping[str, float], b: Mapping[str, float]) -> float:
     if len(b) < len(a):
         a, b = b, a
     return sum(weight * b.get(term, 0.0) for term, weight in a.items())
+
+
+# With kernel="auto", pairwise runs over tf-idf dict payloads batch
+# through the CSR sparse-matrix kernel instead of one cosine per call.
+register_comp(cosine_similarity, "csr-cosine")
+
+
+def pairwise_similarity(
+    vectors: Sequence[TfIdfVector],
+    scheme,
+    *,
+    engine: Engine | None = None,
+    kernel: object = "auto",
+    num_reduce_tasks: int | None = None,
+) -> dict[tuple[int, int], float]:
+    """All-pairs cosine through the generic pairwise pipeline, vectorized.
+
+    Runs the cached two-job pipeline (payload store in the distributed
+    cache) under any :class:`~repro.core.scheme.DistributionScheme` with
+    the CSR cosine kernel selected by default; returns the canonical
+    ``(i, j) → cosine`` map (i > j, 1-indexed), directly comparable to
+    :func:`elsayed_similarity` and :func:`brute_force_similarity`.  Pass
+    ``kernel=None`` to force the scalar pair loop.
+    """
+    from ..core.element import results_matrix
+    from ..core.pairwise import PairwiseComputation
+
+    computation = PairwiseComputation(
+        scheme,
+        cosine_similarity,
+        engine=engine,
+        kernel=kernel,
+        num_reduce_tasks=num_reduce_tasks,
+    )
+    return results_matrix(computation.run_cached(list(vectors)))
 
 
 # ---------------------------------------------------------------------------

@@ -76,9 +76,15 @@ def knn_graph(
     scheme: DistributionScheme,
     *,
     engine=None,
+    kernel=None,
     use_local: bool = False,
 ) -> KnnGraph:
-    """Build the kNN graph through the pairwise pipeline under ``scheme``."""
+    """Build the kNN graph through the pairwise pipeline under ``scheme``.
+
+    ``kernel`` is forwarded to :class:`PairwiseComputation`; pass
+    ``"auto"`` (or ``"dense-euclidean"``) to batch distance evaluation
+    through the vectorized kernel instead of one call per pair.
+    """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     if k >= len(points):
@@ -88,6 +94,7 @@ def knn_graph(
         euclidean_distance,
         aggregator=TopKAggregator(k, smallest=True),
         engine=engine,
+        kernel=kernel,
     )
     merged = (
         computation.run_local(list(points))

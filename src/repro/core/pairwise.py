@@ -29,12 +29,21 @@ Three execution paths, all driven by a :class:`DistributionScheme`:
 
 The pair function ``comp(payload_i, payload_j)`` must be symmetric (§1's
 standing assumption) and picklable for the multiprocess engine.
+
+**Kernels.**  The compute phases no longer hard-code one ``comp`` call
+per pair: each working set's pair relation is materialized into an index
+block and dispatched to a :mod:`repro.kernels` :class:`~repro.kernels.PairKernel`
+(``config["kernel"]``; ``None`` → the scalar kernel, bit-identical to the
+historical loop; ``"auto"`` → registry selection from the pair function
+and payload type).  ``run_local`` always evaluates scalar — it is the
+reference the vectorized paths are parity-tested against.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Mapping, Sequence
 
+from ..kernels import pair_index_array, resolve_kernel
 from ..mapreduce.job import Context, Job, Mapper, Reducer
 from ..mapreduce.pipeline import Pipeline, PipelineResult
 from ..mapreduce.runtime import Engine, SerialEngine
@@ -64,20 +73,63 @@ class DistributeMapper(Mapper):
             context.counters.increment(PAIRWISE_GROUP, REPLICAS_EMITTED)
 
 
-class ComputeReducer(Reducer):
-    """Algorithm 1's reduce: getPairs, evaluate, addResult both ways.
+def _evaluate_pairs(
+    pairs: Sequence[tuple[int, int]],
+    payloads: Mapping[int, Any],
+    context: Context,
+) -> tuple[list[Any], list[Any]]:
+    """Evaluate one working set's pair block through the configured kernel.
 
-    With ``symmetric=False`` in the job config (the paper's "marginal
-    modification" for non-symmetric evaluations, §1) each unordered pair
-    is still *visited* once — the schemes guarantee that — but both
-    orientations are computed: element i stores ``comp(sᵢ, sⱼ)`` and
-    element j stores ``comp(sⱼ, sᵢ)``.
+    Returns ``(forward, backward)`` result lists aligned with ``pairs``:
+    ``forward[k] = comp(s_i, s_j)`` for pair ``(i, j)``; with
+    ``symmetric=True`` (the paper's standing assumption) ``backward`` *is*
+    ``forward``, otherwise it holds the opposite orientation
+    ``comp(s_j, s_i)`` (§1's "marginal modification").  Meters
+    ``EVALUATIONS`` exactly like the historical per-pair loop: one per
+    pair, two when both orientations are computed.
     """
+    comp: PairFunction = context.config["comp"]
+    symmetric: bool = context.config.get("symmetric", True)
+    sample = payloads[pairs[0][0]] if pairs else None
+    kernel = resolve_kernel(context.config.get("kernel"), comp, sample)
+    block = pair_index_array(pairs)
+    forward = kernel.evaluate_block(payloads, block)
+    context.counters.increment(PAIRWISE_GROUP, EVALUATIONS, len(pairs))
+    if symmetric:
+        return forward, forward
+    backward = kernel.evaluate_block(payloads, block[:, ::-1])
+    context.counters.increment(PAIRWISE_GROUP, EVALUATIONS, len(pairs))
+    return forward, backward
+
+
+class ComputeReducer(Reducer):
+    """Algorithm 1's reduce: getPairs, batch-evaluate, addResult both ways.
+
+    The pair relation is materialized once and dispatched to the
+    configured :mod:`repro.kernels` kernel (scalar by default — see
+    :func:`_evaluate_pairs`).  With ``symmetric=False`` in the job config
+    (the paper's "marginal modification" for non-symmetric evaluations,
+    §1) each unordered pair is still *visited* once — the schemes
+    guarantee that — but both orientations are computed: element i stores
+    ``comp(sᵢ, sⱼ)`` and element j stores ``comp(sⱼ, sᵢ)``.
+    """
+
+    def setup(self, context: Context) -> None:
+        # Element payloads are identical across the working sets a task
+        # handles (copies share the payload, results are empty at compute
+        # time), so each element's accounting size is measured once per
+        # task instead of re-pickled on every reduce call.
+        self._element_sizes: dict[int, int] = {}
+
+    def _element_size(self, element: Element) -> int:
+        size = self._element_sizes.get(element.eid)
+        if size is None:
+            size = record_size(element.eid, element)
+            self._element_sizes[element.eid] = size
+        return size
 
     def reduce(self, key: int, values: Any, context: Context) -> None:
         scheme: DistributionScheme = context.config["scheme"]
-        comp: PairFunction = context.config["comp"]
-        symmetric: bool = context.config.get("symmetric", True)
         elements: dict[int, Element] = {}
         for element in values:
             if element.eid in elements:
@@ -94,17 +146,15 @@ class ComputeReducer(Reducer):
         context.counters.set_max(
             PAIRWISE_GROUP,
             MAX_WORKING_SET_BYTES,
-            sum(record_size(eid, el) for eid, el in elements.items()),
+            sum(self._element_size(el) for el in elements.values()),
         )
-        for i, j in scheme.get_pairs(key, member_ids):
-            result = comp(elements[i].payload, elements[j].payload)
-            elements[i].add_result(j, result)
-            if symmetric:
-                elements[j].add_result(i, result)
-            else:
-                elements[j].add_result(i, comp(elements[j].payload, elements[i].payload))
-                context.counters.increment(PAIRWISE_GROUP, EVALUATIONS)
-            context.counters.increment(PAIRWISE_GROUP, EVALUATIONS)
+        pairs = scheme.get_pairs(key, member_ids)
+        if pairs:
+            payloads = {eid: el.payload for eid, el in elements.items()}
+            forward, backward = _evaluate_pairs(pairs, payloads, context)
+            for (i, j), fwd, bwd in zip(pairs, forward, backward):
+                elements[i].add_result(j, fwd)
+                elements[j].add_result(i, bwd)
         for eid in member_ids:
             context.emit(eid, elements[eid])
 
@@ -156,8 +206,6 @@ class CachedComputeReducer(Reducer):
 
     def reduce(self, key: int, values: Any, context: Context) -> None:
         scheme: DistributionScheme = context.config["scheme"]
-        comp: PairFunction = context.config["comp"]
-        symmetric: bool = context.config.get("symmetric", True)
         payloads: Mapping[int, Any] = context.cache_file("dataset")
         seen: set[int] = set()
         for eid in values:
@@ -176,15 +224,12 @@ class CachedComputeReducer(Reducer):
             MAX_WORKING_SET_BYTES,
             sum(self._payload_size(eid, payloads) for eid in member_ids),
         )
-        for i, j in scheme.get_pairs(key, member_ids):
-            result = comp(payloads[i], payloads[j])
-            results[i][j] = result
-            if symmetric:
-                results[j][i] = result
-            else:
-                results[j][i] = comp(payloads[j], payloads[i])
-                context.counters.increment(PAIRWISE_GROUP, EVALUATIONS)
-            context.counters.increment(PAIRWISE_GROUP, EVALUATIONS)
+        pairs = scheme.get_pairs(key, member_ids)
+        if pairs:
+            forward, backward = _evaluate_pairs(pairs, payloads, context)
+            for (i, j), fwd, bwd in zip(pairs, forward, backward):
+                results[i][j] = fwd
+                results[j][i] = bwd
         for eid in member_ids:
             context.emit(eid, results[eid])
 
@@ -217,18 +262,14 @@ class BroadcastPairMapper(Mapper):
 
     def map(self, key: int, value: Any, context: Context) -> None:
         scheme: BroadcastScheme = context.config["scheme"]
-        comp: PairFunction = context.config["comp"]
-        symmetric: bool = context.config.get("symmetric", True)
         payloads: Mapping[int, Any] = context.cache_file("dataset")
-        for i, j in scheme.get_pairs(key):
-            result = comp(payloads[i], payloads[j])
-            context.emit(i, (j, result))
-            if symmetric:
-                context.emit(j, (i, result))
-            else:
-                context.emit(j, (i, comp(payloads[j], payloads[i])))
-                context.counters.increment(PAIRWISE_GROUP, EVALUATIONS)
-            context.counters.increment(PAIRWISE_GROUP, EVALUATIONS)
+        pairs = scheme.get_pairs(key)
+        if not pairs:
+            return
+        forward, backward = _evaluate_pairs(pairs, payloads, context)
+        for (i, j), fwd, bwd in zip(pairs, forward, backward):
+            context.emit(i, (j, fwd))
+            context.emit(j, (i, bwd))
 
 
 class BroadcastAggregateReducer(Reducer):
@@ -269,6 +310,15 @@ class PairwiseComputation:
         and both orientations are evaluated — element i receives
         ``comp(sᵢ, sⱼ)``, element j receives ``comp(sⱼ, sᵢ)`` (the §1
         footnote's "marginal modification").
+    kernel:
+        Batch pair-evaluation strategy for the compute phases (see
+        :mod:`repro.kernels`).  ``None`` (default) evaluates through the
+        scalar kernel — bit-identical to the historical per-pair loop;
+        ``"auto"`` selects a vectorized kernel from the pair function's
+        registry binding and the payload type (scalar fallback when
+        nothing matches); a kernel name or :class:`~repro.kernels.PairKernel`
+        instance forces that kernel.  Vectorized kernels match
+        :meth:`run_local` within float tolerance, not bit-for-bit.
     runtime_config:
         Extra ``job.config`` entries merged into every job this
         computation builds — the pass-through for the engine's
@@ -290,12 +340,14 @@ class PairwiseComputation:
         engine: Engine | None = None,
         num_reduce_tasks: int | None = None,
         symmetric: bool = True,
+        kernel: Any = None,
         runtime_config: Mapping[str, Any] | None = None,
         max_attempts: int = 1,
     ):
         self.scheme = scheme
         self.comp = comp
         self.symmetric = symmetric
+        self.kernel = kernel
         self.aggregator = aggregator or ConcatAggregator()
         self.engine = engine or SerialEngine()
         if num_reduce_tasks is None:
@@ -339,6 +391,7 @@ class PairwiseComputation:
             comp=self.comp,
             aggregator=self.aggregator,
             symmetric=self.symmetric,
+            kernel=self.kernel,
         )
         job1 = Job(
             name="pairwise-distribute-compute",
@@ -406,6 +459,7 @@ class PairwiseComputation:
             comp=self.comp,
             aggregator=self.aggregator,
             symmetric=self.symmetric,
+            kernel=self.kernel,
         )
         job1 = Job(
             name="pairwise-distribute-compute-cached",
@@ -461,6 +515,7 @@ class PairwiseComputation:
                 comp=self.comp,
                 aggregator=self.aggregator,
                 symmetric=self.symmetric,
+                kernel=self.kernel,
             ),
             max_attempts=self.max_attempts,
         )

@@ -1,0 +1,116 @@
+"""Kernel registry: name lookup, pair-function bindings, auto-selection.
+
+Two tables drive dispatch:
+
+- **name → kernel instance** — every importable kernel registers itself
+  once (the package ``__init__`` registers the built-ins); job configs may
+  then name a kernel as a plain string, which keeps configs picklable and
+  engine-agnostic.
+- **pair function → kernel name** — applications *bind* their pair
+  function to the kernel that vectorizes it (docsim binds
+  ``cosine_similarity`` to ``csr-cosine``, covariance binds
+  ``row_inner_product`` to ``covariance``, …).  With
+  ``config["kernel"] = "auto"`` the reducers look the binding up and
+  probe one sample payload via :meth:`PairKernel.supports`; any miss
+  falls back to :class:`~repro.kernels.base.ScalarKernel`, so auto mode
+  never breaks an application — it only accelerates the ones that opted
+  in.
+
+``config["kernel"]`` resolution (:func:`resolve_kernel`):
+
+========================  =================================================
+``None`` / ``"scalar"``   :class:`ScalarKernel` wrapping ``comp``
+                          (bit-identical to the historical pair loop)
+``"auto"``                binding lookup + payload probe, scalar fallback
+any other string          registered kernel of that name (strict)
+a ``PairKernel``          used as-is
+========================  =================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .base import PairFunction, PairKernel, ScalarKernel
+
+_KERNELS: dict[str, PairKernel] = {}
+_COMP_BINDINGS: dict[Any, str] = {}
+
+
+def register_kernel(kernel: PairKernel, *, replace: bool = False) -> PairKernel:
+    """Register a kernel instance under its :attr:`~PairKernel.name`."""
+    if not isinstance(kernel, PairKernel):
+        raise TypeError(f"expected a PairKernel, got {type(kernel).__name__}")
+    if kernel.name in _KERNELS and not replace:
+        raise ValueError(f"kernel {kernel.name!r} already registered")
+    _KERNELS[kernel.name] = kernel
+    return kernel
+
+
+def register_comp(comp: PairFunction, kernel_name: str) -> None:
+    """Bind a pair function to a registered kernel for auto-selection.
+
+    Applications call this next to the pair function's definition; the
+    binding keys on the function object itself, which survives pickling
+    to worker processes (module-level functions unpickle to the same
+    object).  Unhashable ``comp`` objects simply cannot be bound.
+    """
+    if kernel_name not in _KERNELS:
+        raise ValueError(
+            f"cannot bind to unknown kernel {kernel_name!r}; "
+            f"registered: {sorted(_KERNELS)}"
+        )
+    _COMP_BINDINGS[comp] = kernel_name
+
+
+def get_kernel(name: str) -> PairKernel:
+    """The registered kernel of that name (KeyError lists what exists)."""
+    try:
+        return _KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"no kernel named {name!r}; registered: {sorted(_KERNELS)}"
+        ) from None
+
+
+def available_kernels() -> dict[str, PairKernel]:
+    """Snapshot of the name → kernel table (for introspection/tests)."""
+    return dict(_KERNELS)
+
+
+def kernel_for_comp(comp: PairFunction) -> str | None:
+    """The kernel name bound to a pair function, if any."""
+    try:
+        return _COMP_BINDINGS.get(comp)
+    except TypeError:  # unhashable comp can never have been bound
+        return None
+
+
+def select_kernel(comp: PairFunction, sample_payload: Any = None) -> PairKernel:
+    """Auto-selection: bound kernel if it supports the payload, else scalar."""
+    name = kernel_for_comp(comp)
+    if name is not None:
+        kernel = _KERNELS.get(name)
+        if kernel is not None and (
+            sample_payload is None or kernel.supports(sample_payload)
+        ):
+            return kernel
+    return ScalarKernel(comp)
+
+
+def resolve_kernel(
+    spec: Any, comp: PairFunction, sample_payload: Any = None
+) -> PairKernel:
+    """Resolve a job's ``config["kernel"]`` entry to a kernel instance."""
+    if spec is None or spec == "scalar":
+        return ScalarKernel(comp)
+    if spec == "auto":
+        return select_kernel(comp, sample_payload)
+    if isinstance(spec, str):
+        return get_kernel(spec)
+    if isinstance(spec, PairKernel):
+        return spec
+    raise TypeError(
+        "config['kernel'] must be None, 'scalar', 'auto', a kernel name, "
+        f"or a PairKernel instance; got {type(spec).__name__}"
+    )

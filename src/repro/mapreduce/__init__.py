@@ -46,6 +46,7 @@ from .job import (
 )
 from .pipeline import Pipeline, PipelineResult
 from .runtime import (
+    AUTO_SERIAL_MAX_RECORDS,
     DEFAULT_RECORDS_PER_SPLIT,
     DEFAULT_SPILL_THRESHOLD_BYTES,
     Engine,
@@ -53,7 +54,7 @@ from .runtime import (
     MultiprocessEngine,
     SerialEngine,
 )
-from .serialization import PickleCodec, SizedPayload, record_size
+from .serialization import NumpyBufferCodec, PickleCodec, SizedPayload, record_size
 from .shuffle import hash_partition, sort_and_group, stable_hash
 from .streaming import StreamingMapper, StreamingProtocolError, StreamingReducer
 from .splits import Split, assign_round_robin, split_by_count, split_by_size
@@ -66,6 +67,7 @@ from .textio import (
 )
 
 __all__ = [
+    "AUTO_SERIAL_MAX_RECORDS",
     "Context",
     "Counters",
     "CrashFault",
@@ -88,6 +90,7 @@ __all__ = [
     "MAP_OUTPUT_RECORDS",
     "Mapper",
     "MultiprocessEngine",
+    "NumpyBufferCodec",
     "PickleCodec",
     "Pipeline",
     "PipelineResult",

@@ -123,6 +123,14 @@ DEFAULT_RECORDS_PER_SPLIT = 5000
 #: ``config["spill_threshold_bytes"]``.
 DEFAULT_SPILL_THRESHOLD_BYTES = 64 * 1024 * 1024
 
+#: Below this many records, :meth:`Engine.auto` picks :class:`SerialEngine`.
+#: The engine-scaling benchmark (BENCH_engine_scaling.json) shows the
+#: crossover empirically: at small scale (v=60 design-scheme docsim, a few
+#: thousand shuffled records) the serial engine beats the pooled one —
+#: pool startup plus per-job broadcasts cost more than the computation —
+#: while large record volumes amortize the dispatch overhead.
+AUTO_SERIAL_MAX_RECORDS = 20_000
+
 #: Framework counters for the reduce-side spill path (deterministic across
 #: engines: both decide from the same per-partition sums and threshold).
 REDUCE_SPILLED_RECORDS = "reduce_spilled_records"
@@ -673,6 +681,32 @@ class Engine:
             num_map_tasks=len(splits),
             num_reduce_tasks=num_partitions,
         )
+
+    @staticmethod
+    def auto(
+        workload_hint: int | None = None,
+        *,
+        max_workers: int | None = None,
+        serial_below: int = AUTO_SERIAL_MAX_RECORDS,
+    ) -> "Engine":
+        """Pick an engine from a workload-size hint (records through the run).
+
+        ``workload_hint`` is the caller's estimate of how many records the
+        job will push through map+shuffle (e.g. a scheme's
+        ``metrics().communication_records``, or ``len(input_records)`` for
+        plain jobs).  Below ``serial_below`` (default
+        :data:`AUTO_SERIAL_MAX_RECORDS`, from the engine-scaling
+        benchmark's measured crossover) a :class:`SerialEngine` is
+        returned — at small scale pool startup and job broadcasts dominate
+        and serial wins; at or above it, a :class:`MultiprocessEngine`
+        with ``max_workers``.  ``None`` (unknown workload) conservatively
+        picks serial.
+        """
+        if workload_hint is not None and workload_hint < 0:
+            raise ValueError(f"workload_hint must be >= 0, got {workload_hint}")
+        if workload_hint is None or workload_hint < serial_below:
+            return SerialEngine()
+        return MultiprocessEngine(max_workers=max_workers)
 
     def close(self) -> None:
         """Release engine resources (noop for in-process engines)."""

@@ -7,14 +7,38 @@ codec measures the true wire size of whatever objects the application
 emits.  For analytic experiments where payloads are synthetic,
 :class:`SizedPayload` carries a declared size without allocating it, and
 :func:`record_size` knows to honour the declaration.
+
+**NumPy-aware buffer encoding.**  Shuffle chunks
+(:func:`encode_records`/:func:`decode_records`) and the standalone
+:class:`NumpyBufferCodec` use pickle protocol 5 with out-of-band buffers:
+every ndarray payload contributes its raw data buffer to a framed binary
+layout (``magic · buffer count · length-prefixed raw buffers · pickle
+head``) instead of being copied element-wise through the pickle stream.
+Encoding joins the raw memoryviews without an intermediate copy; decoding
+hands zero-copy views of the wire bytes back to ``pickle.loads`` — decoded
+arrays are therefore *read-only* views over the chunk (mappers/reducers
+treat payloads as immutable, matching the MR contract).  Chunks without
+ndarray payloads keep the plain-pickle wire format, so the two layouts
+coexist and are distinguished by the leading magic bytes.
 """
 
 from __future__ import annotations
 
 import pickle
+import struct
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Any, Protocol
+
+import numpy as np
+
+#: frame marker for buffer-encoded chunks; a plain pickle stream starts
+#: with the PROTO opcode (``b"\x80"``), so the layouts cannot collide.
+_BUFFER_MAGIC = b"NPB1"
+
+#: accounting overhead per ndarray on top of its raw data buffer
+#: (dtype/shape/strides metadata in the pickle head)
+_NDARRAY_OVERHEAD = 128
 
 
 @dataclass(frozen=True)
@@ -105,6 +129,9 @@ def _quick_size(obj: Any) -> int:
         return len(obj)
     if isinstance(obj, str):
         return len(obj.encode("utf-8", errors="replace"))
+    if isinstance(obj, np.ndarray):
+        # Raw buffer + metadata, without pickling the array to count it.
+        return int(obj.nbytes) + _NDARRAY_OVERHEAD
     try:
         return _pickled_size_of_hashable(obj)
     except TypeError:  # unhashable: measure directly, no memo
@@ -147,16 +174,76 @@ class PickleCodec:
         return pickle.loads(data)
 
 
+def _encode_with_buffers(obj: Any) -> bytes:
+    """Protocol-5 encode with ndarray buffers framed out-of-band.
+
+    Objects without out-of-band buffers keep the plain pickle layout
+    byte-for-byte; anything contributing :class:`pickle.PickleBuffer`
+    payloads (ndarrays, mainly) gets the framed layout so raw data is
+    joined into the wire bytes exactly once, never copied through the
+    pickle stream itself.
+    """
+    buffers: list[pickle.PickleBuffer] = []
+    head = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+    if not buffers:
+        return head
+    try:
+        raws = [buffer.raw() for buffer in buffers]
+    except BufferError:
+        # A non-contiguous buffer cannot be framed raw; fall back to the
+        # in-band layout (pickle copies, correctness unaffected).
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    parts: list[Any] = [_BUFFER_MAGIC, struct.pack("<I", len(raws))]
+    for raw in raws:
+        parts.append(struct.pack("<Q", raw.nbytes))
+        parts.append(raw)
+    parts.append(head)
+    return b"".join(parts)
+
+
+def _decode_with_buffers(data: bytes | memoryview) -> Any:
+    """Decode either wire layout; framed buffers are zero-copy views."""
+    view = memoryview(data)
+    if bytes(view[: len(_BUFFER_MAGIC)]) != _BUFFER_MAGIC:
+        return pickle.loads(view)
+    offset = len(_BUFFER_MAGIC)
+    (count,) = struct.unpack_from("<I", view, offset)
+    offset += 4
+    buffers: list[memoryview] = []
+    for _ in range(count):
+        (length,) = struct.unpack_from("<Q", view, offset)
+        offset += 8
+        buffers.append(view[offset : offset + length])
+        offset += length
+    return pickle.loads(view[offset:], buffers=buffers)
+
+
+class NumpyBufferCodec:
+    """Protocol-5 codec with out-of-band ndarray buffers (framed layout).
+
+    Decoded arrays are read-only zero-copy views over the wire bytes;
+    callers that must mutate a payload copy it first.
+    """
+
+    def encode(self, obj: Any) -> bytes:
+        return _encode_with_buffers(obj)
+
+    def decode(self, data: bytes) -> Any:
+        return _decode_with_buffers(data)
+
+
 def encode_records(records: list[tuple[Any, Any]]) -> bytes:
     """Encode one shuffle partition chunk (a record list) to wire bytes.
 
     Map tasks pre-encode their partitions so the driver can gather and
     forward chunks to reduce tasks *without ever decoding them* — the
-    streaming-shuffle half of the persistent-pool engine.
+    streaming-shuffle half of the persistent-pool engine.  Chunks carrying
+    ndarray payloads use the framed out-of-band buffer layout (see module
+    docstring); anything else stays plain pickle.
     """
-    return pickle.dumps(records, protocol=pickle.HIGHEST_PROTOCOL)
+    return _encode_with_buffers(records)
 
 
 def decode_records(data: bytes) -> list[tuple[Any, Any]]:
     """Decode a partition chunk produced by :func:`encode_records`."""
-    return pickle.loads(data)
+    return _decode_with_buffers(data)

@@ -17,6 +17,21 @@ from repro.core.pairwise import pairwise_results
 from repro.workloads import make_documents
 
 
+def _tokenize_char_loop(text: str) -> list[str]:
+    """The historical char-by-char tokenizer: isalnum runs, rest separates."""
+    tokens: list[str] = []
+    current: list[str] = []
+    for char in text.lower():
+        if char.isalnum():
+            current.append(char)
+        elif current:
+            tokens.append("".join(current))
+            current = []
+    if current:
+        tokens.append("".join(current))
+    return tokens
+
+
 class TestTokenize:
     def test_basic(self):
         assert tokenize("Hello, World! 2x") == ["hello", "world", "2x"]
@@ -24,6 +39,27 @@ class TestTokenize:
     def test_empty(self):
         assert tokenize("") == []
         assert tokenize("...!!!") == []
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "Hello, World! 2x",
+            "snake_case is two tokens",  # underscore is not isalnum
+            "unicode: déjà-vu, naïve café",
+            "digits ² and ½ are isalnum but not \\w-digits",  # Py_UNICODE_ISALNUM
+            "tabs\tnewlines\nand\r\nmixed   whitespace",
+            "ends mid-token",
+            "ΣΙΣΥΦΟΣ λίθος 漢字かな交じり文",
+            "a_b__c___d",
+            "'quoted' \"double\" (bracketed) [all] {of} <them>",
+            "",
+            "....",
+            "x",
+        ],
+    )
+    def test_identical_to_char_loop(self, text):
+        """The compiled regex must reproduce the char-by-char loop exactly."""
+        assert tokenize(text) == _tokenize_char_loop(text)
 
 
 class TestTfIdf:

@@ -18,7 +18,12 @@ from repro.mapreduce.job import (
     Reducer,
     records_from,
 )
-from repro.mapreduce.runtime import MultiprocessEngine, SerialEngine
+from repro.mapreduce.runtime import (
+    AUTO_SERIAL_MAX_RECORDS,
+    Engine,
+    MultiprocessEngine,
+    SerialEngine,
+)
 from repro.mapreduce.splits import split_by_count
 
 
@@ -232,3 +237,31 @@ class TestEngineInput:
     def test_multiprocess_bad_workers(self):
         with pytest.raises(ValueError):
             MultiprocessEngine(max_workers=0)
+
+
+class TestEngineAuto:
+    def test_small_workload_serial(self):
+        assert isinstance(Engine.auto(100), SerialEngine)
+
+    def test_unknown_workload_serial(self):
+        assert isinstance(Engine.auto(), SerialEngine)
+        assert isinstance(Engine.auto(None), SerialEngine)
+
+    def test_large_workload_pooled(self):
+        engine = Engine.auto(AUTO_SERIAL_MAX_RECORDS, max_workers=2)
+        try:
+            assert isinstance(engine, MultiprocessEngine)
+        finally:
+            engine.close()
+
+    def test_threshold_override(self):
+        assert isinstance(Engine.auto(50, serial_below=10_000), SerialEngine)
+        engine = Engine.auto(50, max_workers=2, serial_below=10)
+        try:
+            assert isinstance(engine, MultiprocessEngine)
+        finally:
+            engine.close()
+
+    def test_negative_hint_rejected(self):
+        with pytest.raises(ValueError):
+            Engine.auto(-1)

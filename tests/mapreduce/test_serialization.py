@@ -1,12 +1,19 @@
 """Serialization and byte-accounting tests."""
 
+import pickle
+
+import numpy as np
 import pytest
 
 from repro.core.element import Element
 from repro.mapreduce.serialization import (
+    _BUFFER_MAGIC,
+    NumpyBufferCodec,
     PickleCodec,
     SizedPayload,
     declared_size,
+    decode_records,
+    encode_records,
     record_size,
 )
 
@@ -66,3 +73,74 @@ class TestPickleCodec:
         restored = codec.decode(codec.encode(obj))
         assert restored["key"] == obj["key"]
         assert restored["e"].eid == 1
+
+
+class TestNumpyBufferCodec:
+    def test_ndarray_roundtrip_out_of_band(self):
+        codec = NumpyBufferCodec()
+        arr = np.arange(1000, dtype=np.float64)
+        wire = codec.encode({"row": arr, "tag": 7})
+        assert wire.startswith(_BUFFER_MAGIC)
+        restored = codec.decode(wire)
+        assert restored["tag"] == 7
+        np.testing.assert_array_equal(restored["row"], arr)
+
+    def test_raw_buffer_not_copied_through_pickle_head(self):
+        codec = NumpyBufferCodec()
+        arr = np.arange(4096, dtype=np.float64)
+        wire = codec.encode(arr)
+        # Framed layout: magic + count + length-prefixed raw data + head.
+        # The head alone must stay tiny (metadata only, no element data).
+        head_size = len(wire) - arr.nbytes
+        assert head_size < 512
+
+    def test_plain_objects_keep_plain_pickle_layout(self):
+        codec = NumpyBufferCodec()
+        obj = {"key": [1, 2, (3, 4)], "text": "hello"}
+        wire = codec.encode(obj)
+        assert wire.startswith(b"\x80")  # PROTO opcode, not the magic
+        assert pickle.loads(wire) == obj  # any pickle reader still works
+        assert codec.decode(wire) == obj
+
+    def test_decoded_arrays_are_readonly_views(self):
+        codec = NumpyBufferCodec()
+        restored = codec.decode(codec.encode(np.ones(16)))
+        assert not restored.flags.writeable
+        copy = restored.copy()
+        copy[0] = 5.0  # mutating a copy is the supported path
+        assert restored[0] == 1.0
+
+    def test_noncontiguous_array_falls_back_in_band(self):
+        codec = NumpyBufferCodec()
+        arr = np.arange(100, dtype=np.float64)[::2]
+        restored = codec.decode(codec.encode(arr))
+        np.testing.assert_array_equal(restored, arr)
+
+    def test_mixed_dtypes_and_nesting(self):
+        codec = NumpyBufferCodec()
+        obj = [
+            (1, np.arange(10, dtype=np.int32)),
+            (2, {"w": np.ones((3, 4)), "label": "x"}),
+        ]
+        restored = codec.decode(codec.encode(obj))
+        np.testing.assert_array_equal(restored[0][1], obj[0][1])
+        np.testing.assert_array_equal(restored[1][1]["w"], obj[1][1]["w"])
+        assert restored[1][1]["label"] == "x"
+
+
+class TestEncodeRecords:
+    def test_plain_records_roundtrip(self):
+        records = [(1, "a"), (2, "b"), ("k", [1, 2, 3])]
+        assert decode_records(encode_records(records)) == records
+
+    def test_ndarray_records_use_framed_layout(self):
+        records = [(eid, np.full(64, float(eid))) for eid in range(1, 6)]
+        wire = encode_records(records)
+        assert wire.startswith(_BUFFER_MAGIC)
+        restored = decode_records(wire)
+        assert [key for key, _value in restored] == [1, 2, 3, 4, 5]
+        for (_key, got), (_key2, want) in zip(restored, records):
+            np.testing.assert_array_equal(got, want)
+
+    def test_empty_chunk(self):
+        assert decode_records(encode_records([])) == []
