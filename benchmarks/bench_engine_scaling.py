@@ -38,7 +38,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
-from harness import format_table, write_report
+from harness import format_table, machine_info, write_report
 
 from repro.apps.docsim import build_tfidf, cosine_similarity
 from repro.core.design import DesignScheme
@@ -350,6 +350,7 @@ def run_comparison(quick: bool = False) -> dict:
     speedup = seed_s / pooled_s
     bytes_reduction = seed_bytes / pooled_bytes
     metrics = {
+        "machine": machine_info(repeats=repeats),
         "workload": {
             "scheme": "design",
             "pair_function": "cosine_similarity",

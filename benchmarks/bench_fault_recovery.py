@@ -29,7 +29,7 @@ import json
 import time
 from pathlib import Path
 
-from harness import format_table, write_report
+from harness import format_table, machine_info, write_report
 
 from repro.apps.docsim import build_tfidf, cosine_similarity
 from repro.core.design import DesignScheme
@@ -164,6 +164,7 @@ def run_comparison(quick: bool = False) -> dict:
         run["overhead_vs_fault_free"] = run["seconds"] / baseline
 
     metrics = {
+        "machine": machine_info(repeats=repeats),
         "workload": {
             "scheme": "design",
             "pair_function": "cosine_similarity",

@@ -38,7 +38,7 @@ from pathlib import Path
 
 import numpy as np
 
-from harness import format_table, write_report
+from harness import format_table, machine_info, write_report
 
 from repro.apps.covariance import row_inner_product
 from repro.apps.dbscan import euclidean_distance
@@ -186,6 +186,7 @@ def run_comparison(quick: bool = False) -> dict:
     end_to_end = bench_end_to_end(vectors, repeats)
 
     metrics = {
+        "machine": machine_info(repeats=repeats),
         "workload": {
             "v": v,
             "vocabulary": vocabulary,

@@ -1,0 +1,316 @@
+"""P4 — shuffle data planes: relay vs direct vs direct+fused.
+
+The driver-bypass rework moves shuffle payloads out of the driver: map
+tasks spill NPB1-framed partition files into the job's shuffle directory
+and return only manifests; reduce tasks stream the spill files directly.
+On a two-job chain whose second map phase is identity-shaped, the first
+job's reducers additionally write the second job's spill files at source
+(fused chaining), so the intermediate stage never materialises on the
+driver at all.
+
+This bench runs the same two-job byte-heavy chain on all three planes
+with ≥4 workers, checks the outputs are bit-identical, and quantifies:
+
+- ``EngineStats.driver_bytes``: relay moves the full shuffle volume
+  through the driver; direct moves only manifests (≥10x smaller —
+  asserted in full mode).
+- two-job wall-clock: direct (fused) must beat relay in full mode.
+
+Writes ``results/shuffle_dataplane.txt`` and the repo-root
+``BENCH_shuffle_dataplane.json`` consumed by CI.
+
+``--guard`` replays the quick workload and asserts the direct plane's
+counters against the committed ceilings in
+``benchmarks/baselines/shuffle_counters.json`` — a cheap, deterministic
+regression tripwire for "someone routed payloads back through the
+driver".  Refresh the baseline with ``--write-baseline`` after an
+intentional data-plane change.
+
+Run standalone (``--quick`` for the fast, assertion-free CI variant):
+
+    PYTHONPATH=src python benchmarks/bench_shuffle_dataplane.py [--quick|--guard]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from harness import format_table, machine_info, write_report
+
+from repro.mapreduce import MultiprocessEngine, SerialEngine
+from repro.mapreduce.counters import FRAMEWORK_GROUP, SHUFFLE_BYTES
+from repro.mapreduce.job import Job, Mapper, Reducer
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_shuffle_dataplane.json"
+BASELINE_PATH = Path(__file__).parent / "baselines" / "shuffle_counters.json"
+
+# Byte-heavy by construction: payloads are real bytes objects, so
+# driver_bytes meters what physically crossed the driver link.
+NUM_RECORDS = 600
+PAYLOAD_BYTES = 8_000
+FAN_OUT = 4
+NUM_KEYS = 48
+NUM_MAP_TASKS = 12
+NUM_REDUCERS = 8
+MAX_WORKERS = 4
+REPEATS = 3
+
+QUICK_NUM_RECORDS = 120
+QUICK_PAYLOAD_BYTES = 2_000
+QUICK_REPEATS = 1
+
+DRIVER_BYPASS_MIN_RATIO = 10.0
+
+
+class FanOutMapper(Mapper):
+    def map(self, key, value, context):
+        for offset in range(FAN_OUT):
+            context.emit((key + offset) % NUM_KEYS, value)
+
+
+class KeepLargestReducer(Reducer):
+    """Stage 1: keep one payload per key, so stage 2 still moves bytes."""
+
+    def reduce(self, key, values, context):
+        context.emit(key, max(values, key=len))
+
+
+class ByteLenReducer(Reducer):
+    def reduce(self, key, values, context):
+        context.emit(key, sum(len(v) for v in values))
+
+
+def make_records(num_records: int, payload_bytes: int) -> list:
+    return [(i, bytes([i % 251]) * payload_bytes) for i in range(num_records)]
+
+
+def make_chain() -> list[Job]:
+    return [
+        Job(
+            name="spread",
+            mapper=FanOutMapper,
+            reducer=KeepLargestReducer,
+            num_reducers=NUM_REDUCERS,
+        ),
+        # Default identity mapper, no combiner: fusable shape.
+        Job(name="tally", reducer=ByteLenReducer, num_reducers=NUM_REDUCERS // 2),
+    ]
+
+
+def run_plane(records, *, shuffle_mode: str, fuse, repeats: int) -> dict:
+    best = float("inf")
+    stats = None
+    results = None
+    for _ in range(repeats):
+        with MultiprocessEngine(
+            max_workers=MAX_WORKERS, shuffle_mode=shuffle_mode
+        ) as engine:
+            start = time.perf_counter()
+            results = engine.run_chain(
+                make_chain(), records, num_map_tasks=NUM_MAP_TASKS, fuse=fuse
+            )
+            best = min(best, time.perf_counter() - start)
+            stats = engine.stats
+    return {
+        "seconds": best,
+        "driver_bytes": stats.driver_bytes,
+        "spill_files_written": stats.spill_files_written,
+        "spill_bytes_written": stats.spill_bytes_written,
+        "fused_stages": stats.fused_stages,
+        "stage1_shuffle_bytes": results[0].counters.get(
+            FRAMEWORK_GROUP, SHUFFLE_BYTES
+        ),
+        "_final_records": results[-1].records,
+    }
+
+
+def run_comparison(quick: bool = False) -> dict:
+    if quick:
+        num_records, payload_bytes = QUICK_NUM_RECORDS, QUICK_PAYLOAD_BYTES
+        repeats = QUICK_REPEATS
+    else:
+        num_records, payload_bytes = NUM_RECORDS, PAYLOAD_BYTES
+        repeats = REPEATS
+    records = make_records(num_records, payload_bytes)
+
+    reference = SerialEngine().run_chain(
+        make_chain(), records, num_map_tasks=NUM_MAP_TASKS
+    )[-1].records
+
+    planes = {
+        "relay": run_plane(records, shuffle_mode="relay", fuse=None, repeats=repeats),
+        "direct": run_plane(
+            records, shuffle_mode="direct", fuse=False, repeats=repeats
+        ),
+        "direct_fused": run_plane(
+            records, shuffle_mode="direct", fuse=None, repeats=repeats
+        ),
+    }
+
+    # Honesty guard: every plane must produce the serial engine's records.
+    for name, plane in planes.items():
+        assert plane.pop("_final_records") == reference, (
+            f"{name} plane diverged from the serial reference"
+        )
+    assert planes["relay"]["fused_stages"] == 0
+    assert planes["direct"]["fused_stages"] == 0
+    assert planes["direct_fused"]["fused_stages"] == 1
+
+    bypass_ratio = planes["relay"]["driver_bytes"] / planes["direct"]["driver_bytes"]
+    wallclock_improvement = planes["relay"]["seconds"] / planes["direct_fused"]["seconds"]
+    metrics = {
+        "machine": machine_info(repeats=repeats),
+        "workload": {
+            "num_records": num_records,
+            "payload_bytes": payload_bytes,
+            "fan_out": FAN_OUT,
+            "num_keys": NUM_KEYS,
+            "num_map_tasks": NUM_MAP_TASKS,
+            "num_reducers": NUM_REDUCERS,
+            "max_workers": MAX_WORKERS,
+            "repeats": repeats,
+            "quick": quick,
+        },
+        "planes": planes,
+        "driver_bypass_ratio": bypass_ratio,
+        "wallclock_improvement_fused_vs_relay": wallclock_improvement,
+    }
+
+    rows = [
+        [
+            name,
+            f"{plane['seconds']:.3f}",
+            plane["driver_bytes"],
+            plane["spill_files_written"],
+            plane["fused_stages"],
+        ]
+        for name, plane in planes.items()
+    ]
+    write_report(
+        "shuffle_dataplane",
+        f"P4 — shuffle data planes on a two-job chain "
+        f"({num_records} records x {payload_bytes}B, fan-out {FAN_OUT}, "
+        f"{MAX_WORKERS} workers, best of {repeats}); driver bytes reduced "
+        f"{bypass_ratio:.1f}x, wall-clock {wallclock_improvement:.2f}x vs relay",
+        format_table(
+            ["plane", "seconds", "driver bytes", "spill files", "fused stages"],
+            rows,
+        ),
+    )
+    JSON_PATH.write_text(json.dumps(metrics, indent=2) + "\n")
+
+    if not quick:
+        assert bypass_ratio >= DRIVER_BYPASS_MIN_RATIO, (
+            f"direct plane only bypassed {bypass_ratio:.1f}x of relay's "
+            "driver bytes"
+        )
+        assert wallclock_improvement > 1.0, (
+            f"fused direct chain not faster than relay "
+            f"({planes['direct_fused']['seconds']:.3f}s vs "
+            f"{planes['relay']['seconds']:.3f}s)"
+        )
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Counter-regression guard (CI lane).
+# ---------------------------------------------------------------------------
+
+
+def guard_measurements() -> dict:
+    """Deterministic quick-workload counters for the regression guard."""
+    records = make_records(QUICK_NUM_RECORDS, QUICK_PAYLOAD_BYTES)
+    plane = run_plane(records, shuffle_mode="direct", fuse=False, repeats=1)
+    relay = run_plane(records, shuffle_mode="relay", fuse=None, repeats=1)
+    plane.pop("_final_records")
+    relay.pop("_final_records")
+    return {
+        "direct_driver_bytes": plane["driver_bytes"],
+        "relay_driver_bytes": relay["driver_bytes"],
+        "shuffle_bytes": plane["stage1_shuffle_bytes"],
+    }
+
+
+def write_baseline() -> dict:
+    measured = guard_measurements()
+    baseline = {
+        "workload": {
+            "num_records": QUICK_NUM_RECORDS,
+            "payload_bytes": QUICK_PAYLOAD_BYTES,
+            "num_map_tasks": NUM_MAP_TASKS,
+            "num_reducers": NUM_REDUCERS,
+        },
+        "measured": measured,
+        # Ceilings leave headroom for environment noise (tmpdir path
+        # lengths leak into manifest pickles) but trip on any change that
+        # routes payloads back through the driver.
+        "ceilings": {
+            "direct_driver_bytes": int(measured["direct_driver_bytes"] * 1.5),
+            "shuffle_bytes": int(measured["shuffle_bytes"] * 1.05),
+            "min_bypass_ratio": DRIVER_BYPASS_MIN_RATIO,
+        },
+    }
+    BASELINE_PATH.parent.mkdir(exist_ok=True)
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    return baseline
+
+
+def run_guard() -> dict:
+    baseline = json.loads(BASELINE_PATH.read_text())
+    ceilings = baseline["ceilings"]
+    measured = guard_measurements()
+    bypass_ratio = measured["relay_driver_bytes"] / measured["direct_driver_bytes"]
+    failures = []
+    if measured["direct_driver_bytes"] > ceilings["direct_driver_bytes"]:
+        failures.append(
+            f"direct driver_bytes {measured['direct_driver_bytes']} exceeds "
+            f"ceiling {ceilings['direct_driver_bytes']}"
+        )
+    if measured["shuffle_bytes"] > ceilings["shuffle_bytes"]:
+        failures.append(
+            f"shuffle_bytes {measured['shuffle_bytes']} exceeds ceiling "
+            f"{ceilings['shuffle_bytes']}"
+        )
+    if bypass_ratio < ceilings["min_bypass_ratio"]:
+        failures.append(
+            f"driver-bypass ratio {bypass_ratio:.1f}x below floor "
+            f"{ceilings['min_bypass_ratio']}x"
+        )
+    assert not failures, "; ".join(failures)
+    return {"measured": measured, "bypass_ratio": bypass_ratio, "ceilings": ceilings}
+
+
+def test_shuffle_dataplane(benchmark):
+    metrics = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    assert metrics["driver_bypass_ratio"] >= DRIVER_BYPASS_MIN_RATIO
+    assert metrics["wallclock_improvement_fused_vs_relay"] > 1.0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload, single repeat, no perf assertions (CI artifact mode)",
+    )
+    parser.add_argument(
+        "--guard",
+        action="store_true",
+        help="assert counters against baselines/shuffle_counters.json ceilings",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="re-measure and rewrite the guard baseline",
+    )
+    arguments = parser.parse_args()
+    if arguments.write_baseline:
+        print(json.dumps(write_baseline(), indent=2))
+    elif arguments.guard:
+        print(json.dumps(run_guard(), indent=2))
+    else:
+        print(json.dumps(run_comparison(quick=arguments.quick), indent=2))

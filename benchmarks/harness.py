@@ -8,10 +8,30 @@ so EXPERIMENTS.md's numbers can be traced back to a concrete run.
 
 from __future__ import annotations
 
+import os
+import platform
 from pathlib import Path
 from typing import Sequence
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def machine_info(*, warmup: int = 0, repeats: int = 1) -> dict:
+    """Provenance stamp for BENCH_*.json files.
+
+    Timings are only comparable against a baseline taken on a similar
+    box; the stamp makes a mismatch diagnosable instead of a mystery
+    regression.  ``warmup``/``repeats`` record the measurement protocol
+    the numbers were taken under.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "python_version": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "warmup_rounds": warmup,
+        "repeat_rounds": repeats,
+    }
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:

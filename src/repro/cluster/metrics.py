@@ -39,6 +39,13 @@ class MeasuredMetrics:
     expected_reexecutions: float = 0.0
     #: ``makespan_failure_adjusted − makespan_seconds``
     recovery_overhead_seconds: float = 0.0
+    #: shuffle data plane the run was modelled under ("direct" or "relay")
+    shuffle_plane: str = "direct"
+    #: intermediate bytes crossing the driver link (0 on the direct plane,
+    #: the full shuffle volume on the relay plane)
+    driver_bytes: int = 0
+    #: serialized driver-link time added to the makespan (relay plane only)
+    relay_seconds: float = 0.0
 
 
 @dataclass(frozen=True)

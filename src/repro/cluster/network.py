@@ -50,6 +50,24 @@ class NetworkModel:
         per_link = total_bytes / num_nodes
         return self.latency * max(0, num_nodes - 1) + per_link / self.bandwidth
 
+    def relay_shuffle_time(self, total_bytes: int, num_nodes: int) -> float:
+        """Shuffle of ``total_bytes`` funnelled through a single driver link.
+
+        Models the legacy driver-relay data plane: every intermediate byte
+        crosses the driver's link *twice* (gathered from mappers, forwarded
+        to reducers), serialized on one link instead of spread over ``n``
+        — the driver is the bottleneck regardless of cluster size, which
+        is exactly what the direct spill-file plane removes.  A latency
+        term per peer applies to each direction.
+        """
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        if total_bytes < 0:
+            raise ValueError(f"bytes must be non-negative, got {total_bytes}")
+        return 2 * (
+            self.latency * max(0, num_nodes - 1) + total_bytes / self.bandwidth
+        )
+
     def broadcast_time(self, num_bytes: int, num_nodes: int) -> float:
         """Time to replicate ``num_bytes`` to every node.
 

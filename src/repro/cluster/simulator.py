@@ -97,7 +97,18 @@ class ClusterSimulator:
     blacklist:
         Node indexes excluded from scheduling (TaskTracker blacklisting);
         the remaining nodes absorb the full task load.
+    shuffle_plane:
+        How intermediate data moves between phases.  ``"direct"``
+        (default) models reducers fetching map output straight from the
+        producing nodes — the per-task transfer term already covers it.
+        ``"relay"`` models the legacy driver-relay plane: the whole
+        shuffle volume is funnelled twice through a single driver link
+        (:meth:`~repro.cluster.network.NetworkModel.relay_shuffle_time`),
+        a serialized term added to the makespan and reported as
+        ``driver_bytes``/``relay_seconds`` in the measured metrics.
     """
+
+    SHUFFLE_PLANES = ("direct", "relay")
 
     def __init__(
         self,
@@ -108,10 +119,17 @@ class ClusterSimulator:
         task_overhead_bytes: int = 0,
         failure_model: FailureModel | None = None,
         blacklist: Collection[int] = (),
+        shuffle_plane: str = "direct",
     ):
         self.cluster = cluster
         self.network = network or NetworkModel()
         self.maxis = maxis
+        if shuffle_plane not in self.SHUFFLE_PLANES:
+            raise ValueError(
+                f"shuffle_plane must be one of {self.SHUFFLE_PLANES}, "
+                f"got {shuffle_plane!r}"
+            )
+        self.shuffle_plane = shuffle_plane
         if task_overhead_bytes < 0:
             raise ValueError(
                 f"task_overhead_bytes must be >= 0, got {task_overhead_bytes}"
@@ -126,6 +144,14 @@ class ClusterSimulator:
     def _place(self, costs: Sequence[TaskCost]) -> Assignment:
         """Schedule costs on the cluster, honouring the blacklist."""
         return self._schedule(costs, self.cluster, blacklist=self.blacklist)
+
+    def _relay_cost(self, shuffle_bytes: int) -> tuple[int, float]:
+        """(driver bytes, serialized driver seconds) for one shuffle leg."""
+        if self.shuffle_plane != "relay" or shuffle_bytes <= 0:
+            return 0, 0.0
+        return shuffle_bytes, self.network.relay_shuffle_time(
+            shuffle_bytes, self.cluster.num_nodes
+        )
 
     def _failure_impact(
         self,
@@ -203,6 +229,7 @@ class ClusterSimulator:
         adjusted, reexecutions = self._failure_impact(
             costs, refetch, assignment.makespan
         )
+        driver_bytes, relay_seconds = self._relay_cost(intermediate)
 
         measured = MeasuredMetrics(
             scheme=scheme.name,
@@ -216,10 +243,13 @@ class ClusterSimulator:
             intermediate_bytes=intermediate,
             total_evaluations=total_evals,
             max_evaluations_per_task=max(p.num_evaluations for p in profiles),
-            makespan_seconds=assignment.makespan,
-            makespan_failure_adjusted=adjusted,
+            makespan_seconds=assignment.makespan + relay_seconds,
+            makespan_failure_adjusted=adjusted + relay_seconds,
             expected_reexecutions=reexecutions,
             recovery_overhead_seconds=adjusted - assignment.makespan,
+            shuffle_plane=self.shuffle_plane,
+            driver_bytes=driver_bytes,
+            relay_seconds=relay_seconds,
         )
         return SimulationReport(
             measured=measured,
@@ -330,6 +360,8 @@ class ClusterSimulator:
         total_adjusted = 0.0
         total_reexecutions = 0.0
         total_replicas = 0
+        total_driver_bytes = 0
+        total_relay_seconds = 0.0
         peak_round_bytes = 0
         max_ws_elems = 0
         total_evals = 0
@@ -366,8 +398,13 @@ class ClusterSimulator:
             last_assignment = assignment
             for slot, load in assignment.slot_loads.items():
                 merged_loads[slot] = merged_loads.get(slot, 0.0) + load
-            total_makespan += assignment.makespan
-            total_adjusted += adjusted
+            round_driver, round_relay = self._relay_cost(
+                round_.replicas * element_size
+            )
+            total_driver_bytes += round_driver
+            total_relay_seconds += round_relay
+            total_makespan += assignment.makespan + round_relay
+            total_adjusted += adjusted + round_relay
             total_reexecutions += reexecutions
             total_replicas += round_.replicas
             peak_round_bytes = max(peak_round_bytes, round_.replicas * element_size)
@@ -391,6 +428,9 @@ class ClusterSimulator:
             makespan_failure_adjusted=total_adjusted,
             expected_reexecutions=total_reexecutions,
             recovery_overhead_seconds=total_adjusted - total_makespan,
+            shuffle_plane=self.shuffle_plane,
+            driver_bytes=total_driver_bytes,
+            relay_seconds=total_relay_seconds,
         )
         assignment = last_assignment or Assignment(placement={}, slot_loads={})
         assignment = Assignment(placement=assignment.placement, slot_loads=merged_loads)

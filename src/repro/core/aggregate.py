@@ -114,11 +114,25 @@ class ReduceAggregator:
     ``folded = reduce(fn, values, initial)`` — partner identity is
     discarded, which suits per-element summaries (counts, sums, extremes).
     Partner id 0 never collides with real 1-indexed elements.
+
+    ``needs_payload`` declares whether the fold reads the element's
+    payload.  It defaults to False — a pure fold over result values —
+    which lets the cached pipeline's aggregate phase skip rebuilding the
+    element from the payload store entirely (the output elements then
+    carry ``payload=None``).  Pass True when ``fn`` (or a downstream
+    consumer) inspects payloads.
     """
 
-    def __init__(self, fn: Callable[[Any, Any], Any], initial: Any = None):
+    def __init__(
+        self,
+        fn: Callable[[Any, Any], Any],
+        initial: Any = None,
+        *,
+        needs_payload: bool = False,
+    ):
         self.fn = fn
         self.initial = initial
+        self.needs_payload = needs_payload
 
     def __call__(self, copies: Sequence[Element]) -> Element:
         merged = merge_copies(copies)

@@ -240,12 +240,21 @@ class CachedAggregateReducer(Reducer):
     Rebuilds the element from the cached payload store and folds every
     working set's partial result map into it; duplicate pairs still raise
     through :meth:`Element.add_result` (the exactly-once guarantee).
+
+    An aggregator may declare ``needs_payload = False`` (e.g.
+    :class:`~repro.core.aggregate.ReduceAggregator`, a pure fold over
+    result values): the payload lookup is then skipped and the output
+    elements are payload-free — the aggregate phase never touches the
+    cached store at all.
     """
 
     def reduce(self, key: int, values: Any, context: Context) -> None:
         aggregator: Aggregator = context.config["aggregator"]
-        payloads: Mapping[int, Any] = context.cache_file("dataset")
-        element = Element(key, payloads[key])
+        if getattr(aggregator, "needs_payload", True):
+            payloads: Mapping[int, Any] = context.cache_file("dataset")
+            element = Element(key, payloads[key])
+        else:
+            element = Element(key)
         for partial in values:
             for partner, result in partial.items():
                 element.add_result(partner, result)
@@ -421,13 +430,21 @@ class PairwiseComputation:
 
         ``return_pipeline=True`` additionally returns the
         :class:`PipelineResult` with per-stage counters (shuffle volume,
-        evaluations — the measured Table-1 quantities).
+        evaluations — the measured Table-1 quantities); it also disables
+        stage fusion so every stage's records are materialized for
+        inspection.  Without it, a direct-shuffle engine fuses Job 1's
+        reduce into Job 2's (identity) map — same merged elements, no
+        driver round-trip for the intermediate copies.
         """
         elements = self._as_elements(dataset)
         job1, job2 = self.build_jobs()
         pipeline = Pipeline([job1, job2], engine=self.engine)
         input_records = [(element.eid, element) for element in elements]
-        result = pipeline.run(input_records, num_map_tasks=num_map_tasks)
+        result = pipeline.run(
+            input_records,
+            num_map_tasks=num_map_tasks,
+            fuse=False if return_pipeline else None,
+        )
         merged = {key: value for key, value in result.records}
         if return_pipeline:
             return merged, result
@@ -480,7 +497,11 @@ class PairwiseComputation:
         )
         pipeline = Pipeline([job1, job2], engine=self.engine)
         input_records = [(element.eid, None) for element in elements]
-        result = pipeline.run(input_records, num_map_tasks=num_map_tasks)
+        result = pipeline.run(
+            input_records,
+            num_map_tasks=num_map_tasks,
+            fuse=False if return_pipeline else None,
+        )
         merged = {key: value for key, value in result.records}
         if return_pipeline:
             return merged, result

@@ -7,6 +7,7 @@ executors, plus a block-placement DFS model for locality accounting.
 """
 
 from .counters import (
+    DRIVER_BYTES,
     FRAMEWORK_GROUP,
     MAP_INPUT_RECORDS,
     MAP_OUTPUT_BYTES,
@@ -16,6 +17,7 @@ from .counters import (
     REDUCE_OUTPUT_RECORDS,
     SHUFFLE_BYTES,
     SHUFFLE_RECORDS,
+    SHUFFLE_SPILL_FILES,
     Counters,
 )
 from .extsort import ExternalSorter, sorted_groups
@@ -49,6 +51,7 @@ from .runtime import (
     AUTO_SERIAL_MAX_RECORDS,
     DEFAULT_RECORDS_PER_SPLIT,
     DEFAULT_SPILL_THRESHOLD_BYTES,
+    SHUFFLE_MODES,
     Engine,
     EngineStats,
     MultiprocessEngine,
@@ -73,6 +76,7 @@ __all__ = [
     "CrashFault",
     "DEFAULT_RECORDS_PER_SPLIT",
     "DEFAULT_SPILL_THRESHOLD_BYTES",
+    "DRIVER_BYTES",
     "DistributedFileSystem",
     "Engine",
     "EngineStats",
@@ -102,7 +106,9 @@ __all__ = [
     "RangePartitioner",
     "Reducer",
     "SHUFFLE_BYTES",
+    "SHUFFLE_MODES",
     "SHUFFLE_RECORDS",
+    "SHUFFLE_SPILL_FILES",
     "SerialEngine",
     "SizedPayload",
     "SlowFault",

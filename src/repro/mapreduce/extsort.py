@@ -8,8 +8,9 @@ mechanism:
 
 - :class:`ExternalSorter` — accept records, keep at most
   ``memory_budget`` of them buffered, spill sorted runs to temp files
-  (pickle framing), then stream a globally sorted merge via
-  ``heapq.merge``;
+  (length-prefixed NPB1 chunks — the shuffle codec, so ndarray payloads
+  spill out-of-band instead of through the pickle stream), then stream a
+  globally sorted merge via ``heapq.merge``;
 - :func:`sorted_groups` — the reducer-facing wrapper yielding
   ``(key, value-iterator)`` groups from a sorter, drop-in compatible
   with :func:`repro.mapreduce.shuffle.sort_and_group`.
@@ -21,16 +22,21 @@ and for the simulator's I/O model.
 from __future__ import annotations
 
 import heapq
-import pickle
+import struct
 import tempfile
 from itertools import groupby
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
-from .serialization import record_size
+from .serialization import decode_records, encode_records, record_size
 from .shuffle import stable_hash
 
 KeyValue = tuple[Any, Any]
+
+#: records per framed chunk within a spill run.  Runs are read back one
+#: chunk at a time during the k-way merge, so per-run memory while merging
+#: is one chunk, not the whole run.
+_RUN_CHUNK_RECORDS = 512
 
 
 class ExternalSorter:
@@ -95,10 +101,12 @@ class ExternalSorter:
         if not self._buffer:
             return
         self._buffer.sort(key=self._ordering)
-        run_path = self._spill_dir / f"run-{len(self._runs):05d}.pkl"
+        run_path = self._spill_dir / f"run-{len(self._runs):05d}.npb"
         with run_path.open("wb") as handle:
-            for record in self._buffer:
-                pickle.dump(record, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            for start in range(0, len(self._buffer), _RUN_CHUNK_RECORDS):
+                chunk = encode_records(self._buffer[start : start + _RUN_CHUNK_RECORDS])
+                handle.write(struct.pack("<Q", len(chunk)))
+                handle.write(chunk)
         self._runs.append(run_path)
         self.spilled_records += len(self._buffer)
         self._buffer = []
@@ -108,10 +116,11 @@ class ExternalSorter:
     def _read_run(path: Path) -> Iterator[KeyValue]:
         with path.open("rb") as handle:
             while True:
-                try:
-                    yield pickle.load(handle)
-                except EOFError:
+                header = handle.read(8)
+                if not header:
                     return
+                (length,) = struct.unpack("<Q", header)
+                yield from decode_records(handle.read(length))
 
     # -- output ---------------------------------------------------------------
     @property

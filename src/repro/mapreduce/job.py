@@ -128,7 +128,11 @@ class Job:
     - ``"spill_threshold_bytes"`` — reduce partitions whose accounted size
       exceeds this go through the external merge sort instead of an
       in-memory sort (default
-      :data:`~repro.mapreduce.runtime.DEFAULT_SPILL_THRESHOLD_BYTES`).
+      :data:`~repro.mapreduce.runtime.DEFAULT_SPILL_THRESHOLD_BYTES`);
+    - ``"pipeline_fusion"`` (bool, default True) — set False on either of
+      two adjacent chained jobs to forbid fusing them (the reduce→map
+      short-circuit in
+      :meth:`~repro.mapreduce.runtime.MultiprocessEngine.run_chain`).
 
     Fault-tolerance knobs (all off by default; see
     :mod:`repro.mapreduce.faults` and the DESIGN "Fault model" section):
@@ -268,19 +272,37 @@ class TaskLostError(RuntimeError):
 
 @dataclass
 class JobResult:
-    """Output of one job run: records, aggregated counters, task counts."""
+    """Output of one job run: records, aggregated counters, task counts.
+
+    ``records_elided`` marks a stage whose output never reached the
+    driver because the engine fused it into the next stage's shuffle
+    (see :meth:`~repro.mapreduce.runtime.MultiprocessEngine.run_chain`);
+    ``records`` is then empty by construction, not because the job
+    emitted nothing — counters still report the true record volumes.
+    """
 
     records: list[KeyValue]
     counters: Counters
     num_map_tasks: int
     num_reduce_tasks: int
+    records_elided: bool = False
 
     def values(self) -> list[Any]:
         """Just the values of the output records."""
+        if self.records_elided:
+            raise ValueError(
+                "stage records were elided by fused chaining; "
+                "re-run with fuse=False to materialize them"
+            )
         return [value for _key, value in self.records]
 
     def as_dict(self) -> dict[Any, Any]:
         """Output records as a key→value dict (keys must be unique)."""
+        if self.records_elided:
+            raise ValueError(
+                "stage records were elided by fused chaining; "
+                "re-run with fuse=False to materialize them"
+            )
         out: dict[Any, Any] = {}
         for key, value in self.records:
             if key in out:

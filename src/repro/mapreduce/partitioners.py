@@ -73,11 +73,20 @@ class RangePartitioner:
         for index in range(1, num_partitions):
             position = index * len(ordered) // num_partitions
             splits.append(ordered[min(position, len(ordered) - 1)])
-        # Dedupe equal split points (skewed samples) while keeping order.
+        # Dedupe equal split points (skewed samples) while keeping order,
+        # then pad back to n−1 by repeating the last split: the built
+        # partitioner must answer for exactly ``num_partitions`` — a
+        # shrunken one raises at call time when the job asks for the
+        # count the caller requested.  Repeated splits are legal
+        # (bisect_right routes past all equals), they just leave the
+        # partitions between duplicates empty — the right outcome for a
+        # sample too skewed to support n distinct ranges.
         unique = []
         for split in splits:
             if not unique or extract(split) > extract(unique[-1]):
                 unique.append(split)
+        if splits:
+            unique.extend(unique[-1] for _ in range(len(splits) - len(unique)))
         partitioner = cls(unique, key=key)
         return partitioner
 

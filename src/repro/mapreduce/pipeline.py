@@ -5,6 +5,16 @@ deployments chain more (a preprocessing job producing the element files,
 the two pairwise jobs, an application job consuming the result lists).
 :class:`Pipeline` runs such a chain on any engine and aggregates counters
 per stage and overall.
+
+Chains run through :meth:`~repro.mapreduce.runtime.Engine.run_chain`, so
+an engine with a direct shuffle plane may *fuse* adjacent stages: when
+the next job's map phase is identity-shaped, the upstream reduce tasks
+write the next job's spill files at source and the intermediate records
+never round-trip through the driver.  Fused stages report
+``records_elided=True`` and an empty record list; counters are
+unaffected.  Pass ``fuse=False`` to :meth:`Pipeline.run` (or set
+``config["pipeline_fusion"]=False`` on a job) to force the plain
+sequential chain — e.g. when per-stage records are inspected.
 """
 
 from __future__ import annotations
@@ -73,6 +83,7 @@ class Pipeline:
         input_records: Sequence[KeyValue],
         *,
         num_map_tasks: int | None = None,
+        fuse: bool | None = None,
     ) -> PipelineResult:
         """Run all jobs; stage i+1 consumes stage i's output records.
 
@@ -80,16 +91,30 @@ class Pipeline:
         re-raised annotated with ``stage_index`` and ``job_name``, so a
         failure deep in a chain names the job that died; the engine (and
         its worker pool) stays usable for the next ``run``.
+
+        ``fuse`` forwards to the engine's
+        :meth:`~repro.mapreduce.runtime.Engine.run_chain`: ``None``
+        (default) lets a direct-shuffle engine fuse adjacent stages where
+        safe, ``False`` forces the plain sequential chain (every stage's
+        records materialized in its :class:`~repro.mapreduce.job.JobResult`).
         """
-        result = PipelineResult()
+        run_chain = getattr(self.engine, "run_chain", None)
+        if run_chain is not None:
+            stages = run_chain(
+                self.jobs, input_records, num_map_tasks=num_map_tasks, fuse=fuse
+            )
+            return PipelineResult(stages=stages)
+        # Duck-typed engines (benchmark replicas, external adapters) may
+        # implement only run(): chain sequentially, never fused.
+        stages = []
         records: Sequence[KeyValue] = input_records
         for index, job in enumerate(self.jobs):
             try:
-                stage = self.engine.run(job, records, num_map_tasks=num_map_tasks)
-            except TaskFailedError as exc:
-                exc.stage_index = index
-                exc.job_name = job.name
+                result = self.engine.run(job, records, num_map_tasks=num_map_tasks)
+            except TaskFailedError as error:
+                error.stage_index = index
+                error.job_name = job.name
                 raise
-            result.stages.append(stage)
-            records = stage.records
-        return result
+            stages.append(result)
+            records = result.records
+        return PipelineResult(stages=stages)

@@ -23,13 +23,36 @@ carrying a full copy of the job, so a b-task run no longer ships the cache
 b times.  :attr:`MultiprocessEngine.stats` meters what the driver actually
 pickled.
 
-**Streaming shuffle.**  Map tasks return pre-encoded partition chunks plus
-per-partition record/byte sums; the driver gathers chunks opaquely and
-forwards them to reduce tasks without ever decoding a record, and meters
-``SHUFFLE_BYTES`` from the map-reported sums (no driver-side re-pickling).
-Reduce partitions whose accounted size exceeds the spill threshold are
-sorted through :mod:`repro.mapreduce.extsort` instead of an in-memory
-``sorted()``.
+**Direct (driver-bypass) shuffle.**  By default
+(``shuffle_mode="direct"``) map tasks write each partition as a spill
+file — one NPB1-framed chunk per (task, partition) under the job's
+scratch dir — and return only a *manifest* (paths + record/byte counts);
+reduce tasks open their partition's spill files directly and stream the
+records through the sort (external merge via
+:mod:`repro.mapreduce.extsort` past the spill threshold).  The driver
+orchestrates but never touches record payloads: what crosses it shrinks
+from the full shuffle volume to manifest-size
+(:attr:`EngineStats.driver_bytes`).  Spill files are attempt-scoped
+(named by task, dispatch attempt, and speculative flag) and published by
+atomic rename, so retries, speculative attempts and worker crashes can
+never corrupt or collide a file — losers just leave orphans that are
+removed with the job.  The legacy ``shuffle_mode="relay"`` keeps the
+PR-1 path: map tasks return pre-encoded chunks, the driver gathers them
+opaquely and forwards them to reduce tasks.  Both modes meter
+``SHUFFLE_BYTES`` from the map-reported sums and produce bit-identical
+job results.
+
+**Fused job chaining.**  :meth:`Engine.run_chain` runs a job chain; on
+the pooled engine in direct mode, adjacent stages are *fused* when the
+next job's map phase is identity-shaped (default mapper, no combiner):
+the upstream reduce tasks partition their output at source with the next
+job's partitioner and write its spill files directly, so the next stage
+starts from disk without a driver-side materialize + re-ingest.  The
+elided identity map phase's data-plane counters are synthesized from the
+manifest sums (bit-identical to the unfused values); the fused stage's
+:class:`~repro.mapreduce.job.JobResult` carries no records
+(``records_elided=True``).  Opt out per job with
+``config["pipeline_fusion"]=False``.
 
 Both engines meter the framework counters (records and bytes at every
 stage) that the evaluation harness compares against the paper's Table-1
@@ -69,6 +92,7 @@ from __future__ import annotations
 import math
 import os
 import pickle
+import shutil
 import statistics
 import tempfile
 import time
@@ -77,7 +101,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from .faults import FaultPlan, PoisonedRecordError, _draw
 
@@ -101,12 +125,18 @@ from .job import (
     Job,
     JobResult,
     KeyValue,
+    Mapper,
     TaskFailedError,
     TaskLostError,
     TaskTimeoutError,
 )
-from .serialization import decode_records, encode_records, record_size
-from .shuffle import partition_with_sizes, sort_and_group
+from .serialization import (
+    decode_records,
+    encode_records,
+    record_size,
+    write_chunk_file,
+)
+from .shuffle import iter_spill_records, partition_with_sizes, sort_and_group
 from .splits import Split, split_by_count
 
 #: Default records per map split when neither ``num_map_tasks`` nor the
@@ -155,6 +185,9 @@ TASKS_TIMED_OUT = "tasks_timed_out"
 #: driver polling cadence for completion/hang/speculation checks
 _POLL_SECONDS = 0.05
 
+#: shuffle data planes a :class:`MultiprocessEngine` supports
+SHUFFLE_MODES = ("direct", "relay")
+
 
 @dataclass(frozen=True)
 class _JobRef:
@@ -179,6 +212,9 @@ class _MapTaskSpec:
     num_partitions: int
     #: pre-encode partition chunks worker-side (pooled engine only)
     encode: bool = False
+    #: direct shuffle: write encoded partitions as spill files under this
+    #: directory and return a manifest instead of the chunks
+    spill_dir: str | None = None
     #: position of this task within its phase (fault plans key on it)
     task_index: int = 0
     #: 1-based global attempt this dispatch starts at (> 1 after the
@@ -188,18 +224,77 @@ class _MapTaskSpec:
     speculative: bool = False
 
 
+@dataclass(frozen=True)
+class _NextStage:
+    """Fused chaining: where a reduce task spills its output for job i+1.
+
+    ``job`` is the *next* job's broadcast ref (the worker resolves it to
+    get the partitioner — and localizes its cache as a side effect);
+    ``num_partitions``/``spill_dir`` describe the next job's shuffle.
+    """
+
+    job: Any
+    num_partitions: int
+    spill_dir: str
+
+
 @dataclass
 class _ReduceTaskSpec:
-    """One reduce task: its partition, raw or as pre-encoded chunks."""
+    """One reduce task: its partition as records, chunks, or spill paths."""
 
     job: Any
     records: list[KeyValue] | None
     chunks: list[bytes] | None
+    #: direct shuffle: this partition's spill files, in map-task order
+    #: (order fixes the arrival-order tie-break — see iter_spill_records)
+    spill_paths: list[str] | None = None
+    #: map-reported record count of the partition (REDUCE_INPUT_RECORDS;
+    #: with spill paths the records are never counted driver-side)
+    num_records: int = 0
     #: accounted partition size (map-reported sums) driving the spill path
     partition_bytes: int = 0
     task_index: int = 0
     first_attempt: int = 1
     speculative: bool = False
+    #: when set, partition + spill this task's output for the next job
+    #: (the fused reduce→map short-circuit) instead of returning records
+    next_stage: _NextStage | None = None
+
+
+@dataclass
+class _FusedOutput:
+    """What a fused reduce task returns: the next job's shuffle manifest."""
+
+    #: per-partition ``(path, file_bytes)`` entry, or None when empty
+    entries: list[tuple[str, int] | None]
+    #: per-partition record counts of this task's contribution
+    counts: list[int]
+    #: per-partition accounted byte sums (record_size, not file bytes)
+    sizes: list[int]
+    #: total records this reduce task emitted (the elided map's input)
+    num_records: int
+
+
+def _spill_file(
+    spill_dir: str,
+    kind: str,
+    task_index: int,
+    attempt: int,
+    speculative: bool,
+    partition: int,
+) -> str:
+    """Attempt-scoped spill file name for one (task, partition) chunk.
+
+    The dispatch identity — task index, the dispatch's first attempt
+    number, and the speculative flag — is baked into the name, so a
+    re-dispatch after a lost worker or a speculative backup can never
+    collide with an earlier attempt's file.  (Within one dispatch the
+    worker writes only after its attempt loop succeeds, exactly once.)
+    """
+    tag = f"a{attempt}s" if speculative else f"a{attempt}"
+    return os.path.join(
+        spill_dir, f"{kind}-{task_index:05d}-{tag}-p{partition:05d}.spill"
+    )
 
 
 # -- worker-side job registry -------------------------------------------------
@@ -273,12 +368,42 @@ def _attempt_marker(handle: Any, kind: str, task_index: int):
     return mark
 
 
+def _spill_partitions(
+    partitions: list[list[KeyValue]],
+    counts: list[int],
+    spill_dir: str,
+    kind: str,
+    task_index: int,
+    attempt: int,
+    speculative: bool,
+) -> list[tuple[str, int] | None]:
+    """Encode and spill one task's partitions; return the manifest entries.
+
+    Empty partitions get no file (``None`` entry).  Runs worker-side
+    *after* the attempt loop succeeded, so a failed attempt never writes;
+    the atomic publish in :func:`write_chunk_file` covers mid-write kills.
+    """
+    entries: list[tuple[str, int] | None] = []
+    for partition, part in enumerate(partitions):
+        if counts[partition]:
+            chunk = encode_records(part)
+            path = _spill_file(
+                spill_dir, kind, task_index, attempt, speculative, partition
+            )
+            write_chunk_file(path, chunk)
+            entries.append((path, len(chunk)))
+        else:
+            entries.append(None)
+    return entries
+
+
 def _execute_map_task(spec: _MapTaskSpec) -> tuple[tuple, dict, dict]:
     """Run one map task with retries.
 
     Returns ``((partitions, partition_records, partition_bytes),
-    counters, info)`` where ``partitions`` holds encoded chunks when
-    ``spec.encode`` is set, raw record lists otherwise.
+    counters, info)`` where ``partitions`` holds manifest entries when
+    ``spec.spill_dir`` is set (direct shuffle), encoded chunks when only
+    ``spec.encode`` is set (relay), raw record lists otherwise.
     """
     job, info = _resolve_job(spec.job)
     (partitions, counts, sizes), counters = _with_retries(
@@ -290,7 +415,17 @@ def _execute_map_task(spec: _MapTaskSpec) -> tuple[tuple, dict, dict]:
         speculative=spec.speculative,
         marker=_attempt_marker(spec.job, "map", spec.task_index),
     )
-    if spec.encode:
+    if spec.spill_dir is not None:
+        partitions = _spill_partitions(
+            partitions,
+            counts,
+            spec.spill_dir,
+            "map",
+            spec.task_index,
+            spec.first_attempt,
+            spec.speculative,
+        )
+    elif spec.encode:
         partitions = [encode_records(part) for part in partitions]
     return (partitions, counts, sizes), counters, info
 
@@ -352,22 +487,66 @@ def _map_attempt(job: Job, spec: _MapTaskSpec, attempt: int) -> tuple[tuple, dic
     return (partitions, counts, sizes), counters.as_dict()
 
 
-def _execute_reduce_task(spec: _ReduceTaskSpec) -> tuple[list[KeyValue], dict, dict]:
-    """Run one reduce task (with retries) over its (unsorted) partition."""
+def _execute_reduce_task(spec: _ReduceTaskSpec) -> tuple[Any, dict, dict]:
+    """Run one reduce task (with retries) over its (unsorted) partition.
+
+    Input comes from spill files (direct shuffle), driver-relayed chunks,
+    or raw records (serial).  The spill-file stream is rebuilt from disk
+    for every attempt, so an attempt that died mid-merge retries against
+    a fresh, complete read of its input.  With ``spec.next_stage`` set
+    (fused chaining) the winning attempt's output is partitioned for the
+    next job and spilled at source; a :class:`_FusedOutput` manifest is
+    returned instead of the records.
+    """
     job, info = _resolve_job(spec.job)
-    if spec.chunks is not None:
-        records = [record for chunk in spec.chunks for record in decode_records(chunk)]
+    if spec.spill_paths is not None:
+        paths = spec.spill_paths
+
+        def load() -> Iterable[KeyValue]:
+            return iter_spill_records(paths)
+
     else:
-        records = spec.records or []
+        records = (
+            [record for chunk in spec.chunks for record in decode_records(chunk)]
+            if spec.chunks is not None
+            else spec.records or []
+        )
+
+        def load() -> Iterable[KeyValue]:
+            return records
+
     output, counters = _with_retries(
         "reduce",
         job,
-        lambda attempt: _reduce_attempt(job, records, spec.partition_bytes),
+        lambda attempt: _reduce_attempt(
+            job, load(), spec.num_records, spec.partition_bytes
+        ),
         task_index=spec.task_index,
         first_attempt=spec.first_attempt,
         speculative=spec.speculative,
         marker=_attempt_marker(spec.job, "reduce", spec.task_index),
     )
+    if spec.next_stage is not None:
+        stage = spec.next_stage
+        next_job, next_info = _resolve_job(stage.job)
+        partitions, sizes = partition_with_sizes(
+            output, stage.num_partitions, next_job.partitioner
+        )
+        counts = [len(part) for part in partitions]
+        entries = _spill_partitions(
+            partitions,
+            counts,
+            stage.spill_dir,
+            "fuse",
+            spec.task_index,
+            spec.first_attempt,
+            spec.speculative,
+        )
+        if next_info["loaded"]:
+            info = {**info, "extra_loads": info.get("extra_loads", 0) + 1}
+        output = _FusedOutput(
+            entries=entries, counts=counts, sizes=sizes, num_records=len(output)
+        )
     return output, counters, info
 
 
@@ -468,15 +647,20 @@ def _with_retries(
 
 
 def _reduce_attempt(
-    job: Job, records: list[KeyValue], partition_bytes: int
+    job: Job, records: Iterable[KeyValue], num_records: int, partition_bytes: int
 ) -> tuple[list[KeyValue], dict]:
-    """One attempt of a reduce task."""
+    """One attempt of a reduce task.
+
+    ``records`` may be a list (serial/relay) or a fresh spill-file stream
+    (direct shuffle); ``num_records`` is the map-reported partition count,
+    so the counter never requires materializing the stream.
+    """
     counters = Counters()
     context = Context(counters, cache=job.cache, config=job.config)
     assert job.reducer is not None  # guarded by Job validation
     reducer = job.reducer()
     reducer.setup(context)
-    counters.increment(FRAMEWORK_GROUP, REDUCE_INPUT_RECORDS, len(records))
+    counters.increment(FRAMEWORK_GROUP, REDUCE_INPUT_RECORDS, num_records)
 
     threshold = int(
         job.config.get("spill_threshold_bytes", DEFAULT_SPILL_THRESHOLD_BYTES)
@@ -545,6 +729,15 @@ class EngineStats:
     post-hoc attempt timeouts are job counters instead),
     ``speculative_launched``/``speculative_wasted`` (backup attempts
     started / attempts whose output lost the race and was discarded).
+
+    The shuffle data-plane meters quantify what the driver actually
+    touched: ``driver_bytes`` is the intermediate (map-output) bytes that
+    crossed the driver process — full encoded chunks on the relay path,
+    only pickled manifests on the direct path (final job output returned
+    to the caller is not shuffle traffic and is not counted);
+    ``spill_files_written``/``spill_bytes_written`` count the direct
+    path's on-disk spill chunks; ``fused_stages`` the reduce→map
+    short-circuits taken by :meth:`MultiprocessEngine.run_chain`.
     """
 
     pools_created: int = 0
@@ -559,6 +752,10 @@ class EngineStats:
     tasks_timed_out: int = 0
     speculative_launched: int = 0
     speculative_wasted: int = 0
+    driver_bytes: int = 0
+    spill_files_written: int = 0
+    spill_bytes_written: int = 0
+    fused_stages: int = 0
 
     @property
     def bytes_pickled(self) -> int:
@@ -566,11 +763,28 @@ class EngineStats:
         return self.broadcast_bytes + self.spec_bytes
 
 
+@dataclass
+class _ShuffleState:
+    """One job's gathered map output, ready for the reduce phase.
+
+    ``gathered[p]`` holds partition ``p``'s data in map-task order: raw
+    records (``mode="memory"``), encoded chunks (``"relay"``), or
+    ``(path, file_bytes)`` manifest entries (``"direct"``).  The
+    map-reported per-partition record/byte sums drive the shuffle
+    counters and the reduce-side spill decision in every mode.
+    """
+
+    mode: str
+    gathered: list[list]
+    part_records: list[int]
+    part_bytes: list[int]
+
+
 class Engine:
     """Shared orchestration: split planning, shuffle accounting, result."""
 
-    #: pooled engines pre-encode shuffle chunks worker-side
-    _encode_shuffle = False
+    #: how map output reaches reduce tasks; pooled engines override
+    _shuffle_mode = "memory"
 
     def run(
         self,
@@ -592,16 +806,7 @@ class Engine:
             raise ValueError("provide exactly one of input_records or splits")
         if splits is None:
             assert input_records is not None
-            if num_map_tasks is None:
-                per_split = int(
-                    job.config.get("records_per_split", DEFAULT_RECORDS_PER_SPLIT)
-                )
-                if per_split < 1:
-                    raise ValueError(
-                        f"records_per_split must be >= 1, got {per_split}"
-                    )
-                num_map_tasks = max(1, len(input_records) // per_split)
-            splits = split_by_count(input_records, num_map_tasks)
+            splits = self._plan_splits(job, input_records, num_map_tasks)
 
         num_partitions = job.num_reducers if job.reducer is not None else 0
         handle = self._job_handle(job)
@@ -610,43 +815,61 @@ class Engine:
         finally:
             self._release_job(handle)
 
+    def run_chain(
+        self,
+        jobs: Sequence[Job],
+        input_records: Sequence[KeyValue],
+        *,
+        num_map_tasks: int | None = None,
+        fuse: bool | None = None,
+    ) -> list[JobResult]:
+        """Run a job chain; stage i+1 consumes stage i's output records.
+
+        Returns the per-stage :class:`~repro.mapreduce.job.JobResult`
+        list.  A stage's :class:`~repro.mapreduce.job.TaskFailedError` is
+        re-raised annotated with ``stage_index``/``job_name``.  ``fuse``
+        is accepted on every engine for interface compatibility; only
+        engines with a direct shuffle plane implement fused chaining
+        (:meth:`MultiprocessEngine.run_chain`), everything else runs the
+        plain sequential chain.
+        """
+        del fuse  # no fused plane here; see MultiprocessEngine.run_chain
+        results: list[JobResult] = []
+        records: Sequence[KeyValue] = input_records
+        for index, job in enumerate(jobs):
+            try:
+                result = self.run(job, records, num_map_tasks=num_map_tasks)
+            except TaskFailedError as exc:
+                exc.stage_index = index
+                exc.job_name = job.name
+                raise
+            results.append(result)
+            records = result.records
+        return results
+
+    def _plan_splits(
+        self,
+        job: Job,
+        input_records: Sequence[KeyValue],
+        num_map_tasks: int | None,
+    ) -> list[Split]:
+        if num_map_tasks is None:
+            per_split = int(
+                job.config.get("records_per_split", DEFAULT_RECORDS_PER_SPLIT)
+            )
+            if per_split < 1:
+                raise ValueError(f"records_per_split must be >= 1, got {per_split}")
+            num_map_tasks = max(1, len(input_records) // per_split)
+        return split_by_count(input_records, num_map_tasks)
+
     def _run_phases(
         self, job: Job, handle: Any, splits: list[Split], num_partitions: int
     ) -> JobResult:
-        encode = self._encode_shuffle and num_partitions > 0
-        map_specs = [
-            _MapTaskSpec(
-                job=handle,
-                records=split.records,
-                num_partitions=num_partitions,
-                encode=encode,
-                task_index=index,
-            )
-            for index, split in enumerate(splits)
-        ]
-        map_outputs = self._run_tasks(map_specs, job)
-
         counters = Counters()
-        slots = max(1, num_partitions)
-        # Per-partition gather across map tasks.  With encoding on, each
-        # entry is a list of opaque chunks the driver never decodes.
-        gathered: list[list] = [[] for _ in range(slots)]
-        part_records = [0] * slots
-        part_bytes = [0] * slots
-        for (partitions, counts, sizes), counter_dict, info in map_outputs:
-            counters.merge(Counters.from_dict(counter_dict))
-            self._note_worker(info)
-            for index, part in enumerate(partitions):
-                if encode:
-                    if counts[index]:
-                        gathered[index].append(part)
-                else:
-                    gathered[index].extend(part)
-                part_records[index] += counts[index]
-                part_bytes[index] += sizes[index]
+        state = self._map_phase(job, handle, splits, num_partitions, counters)
 
         if job.reducer is None:
-            records = [record for part in gathered for record in part]
+            records = [record for part in state.gathered for record in part]
             return JobResult(
                 records=records,
                 counters=counters,
@@ -656,20 +879,10 @@ class Engine:
 
         # Shuffle volume comes from the map-reported per-partition sums —
         # the records were measured exactly once, task-side.
-        counters.increment(FRAMEWORK_GROUP, SHUFFLE_RECORDS, sum(part_records))
-        counters.increment(FRAMEWORK_GROUP, SHUFFLE_BYTES, sum(part_bytes))
+        counters.increment(FRAMEWORK_GROUP, SHUFFLE_RECORDS, sum(state.part_records))
+        counters.increment(FRAMEWORK_GROUP, SHUFFLE_BYTES, sum(state.part_bytes))
 
-        reduce_specs = [
-            _ReduceTaskSpec(
-                job=handle,
-                records=None if encode else gathered[index],
-                chunks=gathered[index] if encode else None,
-                partition_bytes=part_bytes[index],
-                task_index=index,
-            )
-            for index in range(num_partitions)
-        ]
-        reduce_outputs = self._run_tasks(reduce_specs, job)
+        reduce_outputs = self._reduce_phase(job, handle, state)
         records = []
         for output, counter_dict, info in reduce_outputs:
             counters.merge(Counters.from_dict(counter_dict))
@@ -681,6 +894,90 @@ class Engine:
             num_map_tasks=len(splits),
             num_reduce_tasks=num_partitions,
         )
+
+    def _map_phase(
+        self,
+        job: Job,
+        handle: Any,
+        splits: list[Split],
+        num_partitions: int,
+        counters: Counters,
+    ) -> _ShuffleState:
+        """Run the map tasks and gather their partitioned output by mode."""
+        mode = self._shuffle_mode if num_partitions > 0 else "memory"
+        spill_dir = self._shuffle_dir(handle) if mode == "direct" else None
+        map_specs = [
+            _MapTaskSpec(
+                job=handle,
+                records=split.records,
+                num_partitions=num_partitions,
+                encode=mode != "memory",
+                spill_dir=spill_dir,
+                task_index=index,
+            )
+            for index, split in enumerate(splits)
+        ]
+        map_outputs = self._run_tasks(map_specs, job)
+
+        slots = max(1, num_partitions)
+        gathered: list[list] = [[] for _ in range(slots)]
+        part_records = [0] * slots
+        part_bytes = [0] * slots
+        for (partitions, counts, sizes), counter_dict, info in map_outputs:
+            counters.merge(Counters.from_dict(counter_dict))
+            self._note_worker(info)
+            if mode == "direct":
+                # What crossed the driver for this task is its manifest.
+                self.stats.driver_bytes += len(
+                    pickle.dumps(partitions, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+            for index, part in enumerate(partitions):
+                if mode == "memory":
+                    gathered[index].extend(part)
+                elif mode == "relay":
+                    if counts[index]:
+                        gathered[index].append(part)
+                        self.stats.driver_bytes += len(part)
+                elif part is not None:  # direct: (path, file_bytes) entry
+                    gathered[index].append(part)
+                    self.stats.spill_files_written += 1
+                    self.stats.spill_bytes_written += part[1]
+                part_records[index] += counts[index]
+                part_bytes[index] += sizes[index]
+        return _ShuffleState(
+            mode=mode,
+            gathered=gathered,
+            part_records=part_records,
+            part_bytes=part_bytes,
+        )
+
+    def _reduce_phase(
+        self,
+        job: Job,
+        handle: Any,
+        state: _ShuffleState,
+        *,
+        next_stage: _NextStage | None = None,
+    ) -> list[Any]:
+        """Build and run the reduce tasks over gathered map output."""
+        reduce_specs = []
+        for index in range(len(state.gathered)):
+            part = state.gathered[index]
+            reduce_specs.append(
+                _ReduceTaskSpec(
+                    job=handle,
+                    records=part if state.mode == "memory" else None,
+                    chunks=part if state.mode == "relay" else None,
+                    spill_paths=[entry[0] for entry in part]
+                    if state.mode == "direct"
+                    else None,
+                    num_records=state.part_records[index],
+                    partition_bytes=state.part_bytes[index],
+                    task_index=index,
+                    next_stage=next_stage,
+                )
+            )
+        return self._run_tasks(reduce_specs, job)
 
     @staticmethod
     def auto(
@@ -724,6 +1021,10 @@ class Engine:
 
     def _release_job(self, handle: Any) -> None:
         """Called once the job's phases are done (noop by default)."""
+
+    def _shuffle_dir(self, handle: Any) -> str:
+        """Scratch dir for a job's spill files (direct-mode engines only)."""
+        raise NotImplementedError  # pragma: no cover - direct mode only
 
     def _note_worker(self, info: dict) -> None:
         """Fold one task's worker info into engine stats (noop by default)."""
@@ -772,18 +1073,34 @@ class MultiprocessEngine(Engine):
 
         with MultiprocessEngine(max_workers=4) as engine:
             Pipeline([job1, job2], engine=engine).run(records)
+
+    ``shuffle_mode`` picks the shuffle data plane (see module docstring):
+    ``"direct"`` (default) moves map output through attempt-scoped spill
+    files and only manifests cross the driver; ``"relay"`` is the legacy
+    plane where the driver gathers and forwards encoded chunks.  Outputs
+    and job counters are bit-identical either way.
     """
 
-    _encode_shuffle = True
-
-    def __init__(self, max_workers: int | None = None):
+    def __init__(
+        self, max_workers: int | None = None, *, shuffle_mode: str = "direct"
+    ):
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if shuffle_mode not in SHUFFLE_MODES:
+            raise ValueError(
+                f"shuffle_mode must be one of {SHUFFLE_MODES}, got {shuffle_mode!r}"
+            )
         self.max_workers = max_workers
+        self._shuffle_mode = shuffle_mode
         self.stats = EngineStats()
         self._job_seq = 0
         self._resources: dict = {}
         self._finalizer = weakref.finalize(self, _dispose, self._resources)
+
+    @property
+    def shuffle_mode(self) -> str:
+        """The engine's shuffle data plane (``"direct"`` or ``"relay"``)."""
+        return self._shuffle_mode
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
@@ -825,11 +1142,223 @@ class MultiprocessEngine(Engine):
             base.unlink(missing_ok=True)
             for marker in base.parent.glob(f"{base.stem}.*.began"):
                 marker.unlink(missing_ok=True)
+            # The job's spill files go with it — including orphans left by
+            # lost attempts and losing speculative dispatches.
+            shutil.rmtree(base.parent / f"{handle.uid}-shuffle", ignore_errors=True)
+
+    def _shuffle_dir(self, handle: Any) -> str:
+        assert isinstance(handle, _JobRef)
+        path = Path(handle.path).parent / f"{handle.uid}-shuffle"
+        path.mkdir(exist_ok=True)
+        return str(path)
 
     def _note_worker(self, info: dict) -> None:
         self.stats.worker_pids.add(info["pid"])
         if info["loaded"]:
             self.stats.broadcast_loads += 1
+        # A fused reduce task may also have localized the *next* job.
+        self.stats.broadcast_loads += info.get("extra_loads", 0)
+
+    # -- fused chaining --------------------------------------------------------
+    @staticmethod
+    def _fusable(prev: Job, nxt: Job) -> bool:
+        """True when ``nxt``'s map phase can be elided at ``prev``'s reducers.
+
+        Safe exactly when the next job's map phase is a pure identity
+        reshuffle: the default :class:`~repro.mapreduce.job.Mapper` map
+        (no subclass override, no setup/cleanup hooks) and no combiner —
+        then partitioning the upstream reduce output at source is
+        observationally identical to running the map tasks.  Either job
+        can opt out with ``config["pipeline_fusion"]=False``.  A fault
+        plan that could target the next job's (elided) map attempts also
+        blocks fusion, so injected-fault runs stay bit-identical.
+        """
+        if prev.reducer is None or nxt.reducer is None or nxt.num_reducers < 1:
+            return False
+        if nxt.combiner is not None:
+            return False
+        if not prev.config.get("pipeline_fusion", True):
+            return False
+        if not nxt.config.get("pipeline_fusion", True):
+            return False
+        mapper = nxt.mapper
+        if not (
+            isinstance(mapper, type)
+            and issubclass(mapper, Mapper)
+            and mapper.map is Mapper.map
+            and mapper.setup is Mapper.setup
+            and mapper.cleanup is Mapper.cleanup
+        ):
+            return False
+        plan = nxt.config.get("fault_plan")
+        if plan is not None:
+            if any(
+                getattr(plan, rate, 0.0)
+                for rate in ("crash_rate", "slow_rate", "kill_rate")
+            ):
+                return False
+            if any(
+                fault.task_kind in (None, "map")
+                for fault in getattr(plan, "faults", ())
+            ):
+                return False
+        return True
+
+    def _gather_fused(
+        self, reduce_outputs: list[Any], num_partitions: int, counters: Counters
+    ) -> _ShuffleState:
+        """Fold fused reduce manifests into the next stage's shuffle state."""
+        gathered: list[list] = [[] for _ in range(num_partitions)]
+        part_records = [0] * num_partitions
+        part_bytes = [0] * num_partitions
+        for fused, counter_dict, info in reduce_outputs:
+            counters.merge(Counters.from_dict(counter_dict))
+            self._note_worker(info)
+            self.stats.driver_bytes += len(
+                pickle.dumps(fused.entries, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            for partition, entry in enumerate(fused.entries):
+                if entry is not None:
+                    gathered[partition].append(entry)
+                    self.stats.spill_files_written += 1
+                    self.stats.spill_bytes_written += entry[1]
+                part_records[partition] += fused.counts[partition]
+                part_bytes[partition] += fused.sizes[partition]
+        return _ShuffleState(
+            mode="direct",
+            gathered=gathered,
+            part_records=part_records,
+            part_bytes=part_bytes,
+        )
+
+    def run_chain(
+        self,
+        jobs: Sequence[Job],
+        input_records: Sequence[KeyValue],
+        *,
+        num_map_tasks: int | None = None,
+        fuse: bool | None = None,
+    ) -> list[JobResult]:
+        """Run a chain, fusing adjacent stages where safe (direct mode).
+
+        When stage i's reduce feeds a stage i+1 whose map phase is
+        identity-shaped (:meth:`_fusable`), stage i's reduce tasks
+        partition their output with stage i+1's partitioner and write its
+        spill files directly — stage i+1 starts from disk, its identity
+        map phase is elided, and stage i's records never reach the
+        driver (its :class:`~repro.mapreduce.job.JobResult` has
+        ``records_elided=True`` and an empty record list).  The elided
+        map's data-plane counters (map input/output records and bytes,
+        shuffle volume) are synthesized from the manifest sums and equal
+        the unfused values exactly; only attempt bookkeeping
+        (``task_attempts``) differs, since no map attempts run.
+
+        ``fuse=None`` (the default) and ``fuse=True`` both fuse when
+        safe; ``fuse=False`` forces the plain sequential chain.  Relay
+        mode has no spill files to hand over, so it never fuses.
+        """
+        if fuse is False or self._shuffle_mode != "direct" or len(jobs) < 2:
+            return super().run_chain(
+                jobs, input_records, num_map_tasks=num_map_tasks
+            )
+        jobs = list(jobs)
+        results: list[JobResult] = []
+        records: Sequence[KeyValue] = input_records
+        handles: dict[int, _JobRef] = {}
+
+        def handle_for(index: int) -> _JobRef:
+            if index not in handles:
+                handles[index] = self._job_handle(jobs[index])
+            return handles[index]
+
+        pending: _ShuffleState | None = None  # spilled at source by stage i-1
+        try:
+            for index, job in enumerate(jobs):
+                try:
+                    handle = handle_for(index)
+                    num_partitions = (
+                        job.num_reducers if job.reducer is not None else 0
+                    )
+                    counters = Counters()
+                    num_splits = 0
+                    if pending is not None:
+                        # Fused-in stage: its shuffle input is already on
+                        # disk.  Synthesize the elided identity map's
+                        # data-plane counters from the manifest sums so
+                        # fused and unfused runs report identical volumes.
+                        state = pending
+                        pending = None
+                        fed_records = sum(state.part_records)
+                        fed_bytes = sum(state.part_bytes)
+                        counters.increment(
+                            FRAMEWORK_GROUP, MAP_INPUT_RECORDS, fed_records
+                        )
+                        counters.increment(
+                            FRAMEWORK_GROUP, MAP_OUTPUT_RECORDS, fed_records
+                        )
+                        counters.increment(
+                            FRAMEWORK_GROUP, MAP_OUTPUT_BYTES, fed_bytes
+                        )
+                    else:
+                        splits = self._plan_splits(job, records, num_map_tasks)
+                        num_splits = len(splits)
+                        state = self._map_phase(
+                            job, handle, splits, num_partitions, counters
+                        )
+                    if job.reducer is None:
+                        records = [r for part in state.gathered for r in part]
+                        results.append(
+                            JobResult(records, counters, num_splits, 0)
+                        )
+                        continue
+                    counters.increment(
+                        FRAMEWORK_GROUP, SHUFFLE_RECORDS, sum(state.part_records)
+                    )
+                    counters.increment(
+                        FRAMEWORK_GROUP, SHUFFLE_BYTES, sum(state.part_bytes)
+                    )
+                    next_stage = None
+                    if index + 1 < len(jobs) and self._fusable(job, jobs[index + 1]):
+                        next_handle = handle_for(index + 1)
+                        next_stage = _NextStage(
+                            job=next_handle,
+                            num_partitions=jobs[index + 1].num_reducers,
+                            spill_dir=self._shuffle_dir(next_handle),
+                        )
+                    reduce_outputs = self._reduce_phase(
+                        job, handle, state, next_stage=next_stage
+                    )
+                    if next_stage is not None:
+                        pending = self._gather_fused(
+                            reduce_outputs, next_stage.num_partitions, counters
+                        )
+                        self.stats.fused_stages += 1
+                        results.append(
+                            JobResult(
+                                [],
+                                counters,
+                                num_splits,
+                                num_partitions,
+                                records_elided=True,
+                            )
+                        )
+                    else:
+                        records = []
+                        for output, counter_dict, info in reduce_outputs:
+                            counters.merge(Counters.from_dict(counter_dict))
+                            self._note_worker(info)
+                            records.extend(output)
+                        results.append(
+                            JobResult(records, counters, num_splits, num_partitions)
+                        )
+                except TaskFailedError as exc:
+                    exc.stage_index = index
+                    exc.job_name = job.name
+                    raise
+            return results
+        finally:
+            for handle in handles.values():
+                self._release_job(handle)
 
     def _teardown_pool(self, *, kill: bool = False) -> None:
         """Drop the current pool; ``kill`` terminates workers first.

@@ -24,10 +24,12 @@ coexist and are distinguished by the leading magic bytes.
 
 from __future__ import annotations
 
+import os
 import pickle
 import struct
 from dataclasses import dataclass
 from functools import lru_cache
+from pathlib import Path
 from typing import Any, Protocol
 
 import numpy as np
@@ -247,3 +249,25 @@ def encode_records(records: list[tuple[Any, Any]]) -> bytes:
 def decode_records(data: bytes) -> list[tuple[Any, Any]]:
     """Decode a partition chunk produced by :func:`encode_records`."""
     return _decode_with_buffers(data)
+
+
+def write_chunk_file(path: str | Path, data: bytes) -> None:
+    """Atomically persist one encoded chunk (spill file) at ``path``.
+
+    Spill files are written by worker processes that can be killed
+    mid-write (injected worker kills, hang kills, pool restarts), so the
+    write goes to a sibling temp file first and is published with an
+    atomic rename: a spill file either exists complete or not at all,
+    never as a truncated chunk for a reader to trip over.
+    """
+    target = os.fspath(path)
+    tmp = target + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+    os.replace(tmp, target)
+
+
+def read_chunk_file(path: str | Path) -> bytes:
+    """Read one chunk written by :func:`write_chunk_file`."""
+    with open(path, "rb") as handle:
+        return handle.read()

@@ -15,9 +15,24 @@ import pickle
 from itertools import groupby
 from typing import Any, Callable, Iterable, Iterator
 
-from .serialization import record_size
+from .serialization import decode_records, read_chunk_file, record_size
 
 KeyValue = tuple[Any, Any]
+
+
+def iter_spill_records(paths: Iterable[str]) -> Iterator[KeyValue]:
+    """Stream one partition's records from its spill files, in manifest order.
+
+    Reduce tasks on the direct shuffle path read their partition straight
+    from the map tasks' spill files instead of driver-relayed chunks.
+    Yielding files in manifest order (map-task order, fixed by the driver)
+    reproduces the relay path's arrival order exactly, so the stable sort
+    downstream breaks key ties identically and outputs stay bit-identical
+    across shuffle planes.  Each call starts a fresh stream, which is what
+    lets a retried reduce attempt re-read its input from scratch.
+    """
+    for path in paths:
+        yield from decode_records(read_chunk_file(path))
 
 
 def stable_hash(key: Any) -> int:

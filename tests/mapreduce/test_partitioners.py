@@ -53,13 +53,31 @@ class TestSampling:
         )
         assert is_globally_sorted([[k for k, _ in p] for p in partitions])
 
-    def test_skewed_keys_dedupe_splits(self):
+    def test_skewed_keys_keep_requested_partition_count(self):
+        # Regression: dedupe used to shrink the split list, so a job built
+        # for 8 reducers got a partitioner that raised when called with 8.
         keys = [7] * 100 + [9]
         part = RangePartitioner.from_sample(keys, 8, seed=0)
-        # Heavy duplication collapses split points instead of crashing.
-        assert part.num_partitions <= 8
+        assert part.num_partitions == 8
         for k in keys:
-            assert 0 <= part(k, part.num_partitions) < part.num_partitions
+            assert 0 <= part(k, 8) < 8
+
+    def test_skewed_sample_routes_all_keys_and_stays_ordered(self):
+        # A sample dominated by one key leaves middle partitions empty but
+        # must still route every key and preserve the global order.
+        rng = random.Random(5)
+        keys = [42] * 900 + [rng.randrange(1_000) for _ in range(100)]
+        part = RangePartitioner.from_sample(keys, 6, seed=1)
+        assert part.num_partitions == 6
+        partitions = partition_records([(k, None) for k in keys], 6, part)
+        assert sum(len(p) for p in partitions) == len(keys)
+        assert is_globally_sorted([[k for k, _ in p] for p in partitions])
+
+    def test_constant_sample_keeps_requested_partition_count(self):
+        part = RangePartitioner.from_sample([3] * 50, 4, seed=0)
+        assert part.num_partitions == 4
+        assert part(3, 4) == 3  # bisect_right routes past every equal split
+        assert part(2, 4) == 0
 
     def test_validation(self):
         with pytest.raises(ValueError):
