@@ -1,31 +1,60 @@
-"""Task placement: greedy LPT scheduling onto node slots.
+"""Task placement: cluster-facing wrappers over the control-plane policies.
 
 The paper's balance demand (§5 demand (a)) is about *task* sizes; how well
 balanced the *nodes* end up also depends on placement.  Hadoop assigns
 tasks to free slots as they come, which for independent tasks approximates
-Longest-Processing-Time-first list scheduling.  LPT is what we implement:
-sort tasks by descending cost, always give the next task to the least
-loaded slot.  (Classical bound: makespan ≤ 4/3 · OPT.)
+Longest-Processing-Time-first list scheduling.  (Classical bound:
+makespan ≤ 4/3 · OPT.)
+
+The algorithms themselves live in
+:mod:`repro.mapreduce.controlplane.policy` so the real engines and the
+simulator share one implementation; this module keeps the historical
+``schedule_*`` entry points (and re-exports :class:`TaskCost` /
+:class:`Assignment`) and handles the cluster-model concerns the policies
+don't know about: expanding a :class:`~repro.cluster.node.ClusterSpec`
+into slots and validating the node blacklist.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass
 from typing import Collection, Sequence
 
+from ..mapreduce.controlplane.policy import (
+    Assignment,
+    LptPolicy,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+    Slot,
+    TaskCost,
+)
 from .node import ClusterSpec
 
+__all__ = [
+    "Assignment",
+    "TaskCost",
+    "cluster_slots",
+    "schedule_lpt",
+    "schedule_lpt_heterogeneous",
+    "schedule_round_robin",
+]
 
-def _usable_slots(
-    cluster: ClusterSpec, blacklist: Collection[int]
-) -> list[tuple[int, int]]:
-    """All (node, slot) pairs on non-blacklisted nodes.
+
+def cluster_slots(
+    cluster: ClusterSpec,
+    blacklist: Collection[int] = (),
+    *,
+    speed_aware: bool = False,
+) -> list[Slot]:
+    """All usable slots on non-blacklisted nodes, as policy :class:`Slot`\\ s.
 
     ``blacklist`` holds node indexes excluded from placement — Hadoop's
     TaskTracker blacklisting, where a node with repeated task failures
     stops receiving work.  Scheduling with every node blacklisted is a
     configuration error, not an empty schedule.
+
+    With ``speed_aware`` each slot carries its node's speed relative to
+    the first node (``eval_rate / rate₀``); otherwise every slot reports
+    speed 1.0, which keeps :func:`schedule_lpt` deliberately speed-blind.
     """
     excluded = set(blacklist)
     for index in excluded:
@@ -33,8 +62,13 @@ def _usable_slots(
             raise ValueError(
                 f"blacklisted node {index} outside cluster of {cluster.num_nodes}"
             )
+    rate0 = cluster.nodes[0].eval_rate
     slots = [
-        (node_index, slot_index)
+        Slot(
+            node=node_index,
+            index=slot_index,
+            speed=(node.eval_rate / rate0) if speed_aware else 1.0,
+        )
         for node_index, node in enumerate(cluster.nodes)
         if node_index not in excluded
         for slot_index in range(node.slots)
@@ -42,48 +76,6 @@ def _usable_slots(
     if not slots:
         raise ValueError("every node is blacklisted; nothing can be scheduled")
     return slots
-
-
-@dataclass(frozen=True)
-class TaskCost:
-    """One schedulable task: an id and its estimated running time."""
-
-    task_id: int
-    seconds: float
-
-    def __post_init__(self) -> None:
-        if self.seconds < 0:
-            raise ValueError(f"task cost must be non-negative, got {self.seconds}")
-
-
-@dataclass
-class Assignment:
-    """Result of scheduling: per-slot loads and task placements."""
-
-    #: task_id -> (node index, slot index within node)
-    placement: dict[int, tuple[int, int]]
-    #: busy seconds per (node, slot)
-    slot_loads: dict[tuple[int, int], float]
-
-    @property
-    def makespan(self) -> float:
-        """Completion time of the last slot (0 when nothing was scheduled)."""
-        return max(self.slot_loads.values(), default=0.0)
-
-    def node_loads(self) -> dict[int, float]:
-        """Max busy time over each node's slots."""
-        loads: dict[int, float] = {}
-        for (node, _slot), seconds in self.slot_loads.items():
-            loads[node] = max(loads.get(node, 0.0), seconds)
-        return loads
-
-    @property
-    def imbalance(self) -> float:
-        """makespan / mean slot load — 1.0 is perfectly even."""
-        if not self.slot_loads:
-            return 1.0
-        mean_load = sum(self.slot_loads.values()) / len(self.slot_loads)
-        return self.makespan / mean_load if mean_load > 0 else 1.0
 
 
 def schedule_lpt(
@@ -94,25 +86,12 @@ def schedule_lpt(
 ) -> Assignment:
     """Longest-Processing-Time-first list scheduling over all cluster slots.
 
+    Deliberately speed-blind: every slot is treated as equally fast, so
+    homogeneous-cluster results don't depend on node metadata.
     ``blacklist`` excludes whole nodes from placement (TaskTracker
     blacklisting); their slots receive no tasks and report no load.
     """
-    slots = _usable_slots(cluster, blacklist)
-    # Heap of (current load, tiebreak, slot); tiebreak keeps determinism.
-    heap: list[tuple[float, int, tuple[int, int]]] = [
-        (0.0, i, slot) for i, slot in enumerate(slots)
-    ]
-    heapq.heapify(heap)
-    placement: dict[int, tuple[int, int]] = {}
-    ordered = sorted(tasks, key=lambda t: (-t.seconds, t.task_id))
-    for task in ordered:
-        load, tiebreak, slot = heapq.heappop(heap)
-        placement[task.task_id] = slot
-        heapq.heappush(heap, (load + task.seconds, tiebreak, slot))
-    slot_loads = {slot: 0.0 for slot in slots}
-    for task in tasks:
-        slot_loads[placement[task.task_id]] += task.seconds
-    return Assignment(placement=placement, slot_loads=slot_loads)
+    return LptPolicy().assign(tasks, cluster_slots(cluster, blacklist))
 
 
 def schedule_lpt_heterogeneous(
@@ -130,22 +109,12 @@ def schedule_lpt_heterogeneous(
     related machines.  ``blacklist`` excludes whole nodes, as in
     :func:`schedule_lpt`.
     """
-    rate0 = cluster.nodes[0].eval_rate
-    slot_speed: dict[tuple[int, int], float] = {}
-    for node_index, slot_index in _usable_slots(cluster, blacklist):
-        node = cluster.nodes[node_index]
-        slot_speed[(node_index, slot_index)] = node.eval_rate / rate0
-
-    loads: dict[tuple[int, int], float] = {slot: 0.0 for slot in slot_speed}
-    placement: dict[int, tuple[int, int]] = {}
-    for task in sorted(tasks, key=lambda t: (-t.seconds, t.task_id)):
-        best_slot = min(
-            loads,
-            key=lambda slot: (loads[slot] + task.seconds / slot_speed[slot], slot),
-        )
-        placement[task.task_id] = best_slot
-        loads[best_slot] += task.seconds / slot_speed[best_slot]
-    return Assignment(placement=placement, slot_loads=loads)
+    slots = cluster_slots(cluster, blacklist, speed_aware=True)
+    if all(slot.speed == 1.0 for slot in slots):
+        # Uniform speeds: take the EFT path anyway so reported slot loads
+        # stay in wall-clock seconds, exactly as before the refactor.
+        return SchedulingPolicy.assign(LptPolicy(), tasks, slots)
+    return LptPolicy().assign(tasks, slots)
 
 
 def schedule_round_robin(
@@ -155,11 +124,4 @@ def schedule_round_robin(
     blacklist: Collection[int] = (),
 ) -> Assignment:
     """Naive round-robin placement — the baseline LPT is compared against."""
-    slots = _usable_slots(cluster, blacklist)
-    placement: dict[int, tuple[int, int]] = {}
-    slot_loads = {slot: 0.0 for slot in slots}
-    for position, task in enumerate(sorted(tasks, key=lambda t: t.task_id)):
-        slot = slots[position % len(slots)]
-        placement[task.task_id] = slot
-        slot_loads[slot] += task.seconds
-    return Assignment(placement=placement, slot_loads=slot_loads)
+    return RoundRobinPolicy().assign(tasks, cluster_slots(cluster, blacklist))

@@ -26,9 +26,11 @@ from ..core.scheme import DistributionScheme, TaskProfile
 from .metrics import MeasuredMetrics, TheoryComparison
 from .network import NetworkModel
 from .node import ClusterSpec, FailureModel, NodeSpec
+from ..mapreduce.controlplane.policy import SchedulingPolicy, resolve_policy
 from .scheduler import (
     Assignment,
     TaskCost,
+    cluster_slots,
     schedule_lpt,
     schedule_lpt_heterogeneous,
 )
@@ -97,6 +99,13 @@ class ClusterSimulator:
     blacklist:
         Node indexes excluded from scheduling (TaskTracker blacklisting);
         the remaining nodes absorb the full task load.
+    scheduling_policy:
+        A :class:`~repro.mapreduce.controlplane.policy.SchedulingPolicy`
+        instance or registry name (``"fifo"``, ``"lpt"``,
+        ``"round_robin"``) used to place task costs onto slots — the same
+        policy objects the real engines accept.  ``None`` (default) keeps
+        the historical behaviour: speed-blind LPT on homogeneous
+        clusters, earliest-finish-time LPT when node speeds differ.
     shuffle_plane:
         How intermediate data moves between phases.  ``"direct"``
         (default) models reducers fetching map output straight from the
@@ -120,6 +129,7 @@ class ClusterSimulator:
         failure_model: FailureModel | None = None,
         blacklist: Collection[int] = (),
         shuffle_plane: str = "direct",
+        scheduling_policy: SchedulingPolicy | str | None = None,
     ):
         self.cluster = cluster
         self.network = network or NetworkModel()
@@ -139,11 +149,20 @@ class ClusterSimulator:
         self.blacklist = frozenset(blacklist)
         # Mixed node speeds need the speed-aware scheduler.
         rates = {node.eval_rate for node in cluster.nodes}
-        self._schedule = schedule_lpt if len(rates) == 1 else schedule_lpt_heterogeneous
+        self._heterogeneous = len(rates) > 1
+        self.scheduling_policy = (
+            None if scheduling_policy is None else resolve_policy(scheduling_policy)
+        )
 
     def _place(self, costs: Sequence[TaskCost]) -> Assignment:
-        """Schedule costs on the cluster, honouring the blacklist."""
-        return self._schedule(costs, self.cluster, blacklist=self.blacklist)
+        """Schedule costs on the cluster, honouring blacklist and policy."""
+        if self.scheduling_policy is not None:
+            slots = cluster_slots(
+                self.cluster, self.blacklist, speed_aware=self._heterogeneous
+            )
+            return self.scheduling_policy.assign(costs, slots)
+        schedule = schedule_lpt_heterogeneous if self._heterogeneous else schedule_lpt
+        return schedule(costs, self.cluster, blacklist=self.blacklist)
 
     def _relay_cost(self, shuffle_bytes: int) -> tuple[int, float]:
         """(driver bytes, serialized driver seconds) for one shuffle leg."""

@@ -5,22 +5,33 @@ each task runs and how loaded each slot is; a :class:`Trace` adds *when*:
 tasks on one slot run back-to-back in scheduling order, giving every task
 a (start, end) interval.  Traces support
 
-- JSON export (one event per task — loadable into external tooling),
+- JSON export (loadable into external tooling) and loading from the
+  legacy span-array format, the current ``{"slots", "spans"}`` document,
+  a single span object, or the JSONL files a real engine run's
+  :class:`~repro.mapreduce.controlplane.events.JsonlTraceSink` writes,
 - an ASCII Gantt chart for quick terminal inspection,
 - utilization statistics (busy fraction per slot, cluster-wide).
 
+A trace carries its *slot inventory* explicitly: utilization and the
+Gantt chart cover idle slots too, and an empty trace round-trips through
+JSON without forgetting which slots existed.
+
 This is the observability layer the §6 evaluation would have read off the
-Hadoop JobTracker UI.
+Hadoop JobTracker UI — and, via the engine's event bus, what real local
+runs now emit as well.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from .node import ClusterSpec
 from .scheduler import TaskCost
+
+#: Keys every span record carries, in every supported serialization.
+_SPAN_KEYS = frozenset({"task", "node", "slot", "start", "end"})
 
 
 @dataclass(frozen=True)
@@ -38,11 +49,32 @@ class TaskSpan:
         return self.end - self.start
 
 
+def _span_from_dict(record: dict) -> TaskSpan:
+    return TaskSpan(
+        task_id=record["task"], node=record["node"], slot=record["slot"],
+        start=record["start"], end=record["end"],
+    )
+
+
 @dataclass
 class Trace:
-    """A full schedule timeline."""
+    """A full schedule timeline.
+
+    ``slots`` is the slot inventory — every ``(node, slot)`` pair that
+    *could* have run tasks.  It defaults to the slots the spans mention,
+    but passing it explicitly keeps idle slots visible in utilization
+    and the Gantt chart, and survives JSON round-trips even when there
+    are no spans at all.
+    """
 
     spans: list[TaskSpan]
+    slots: list[tuple[int, int]] = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        inventory = {(span.node, span.slot) for span in self.spans}
+        if self.slots is not None:
+            inventory.update(tuple(slot) for slot in self.slots)
+        self.slots = sorted(inventory)
 
     @property
     def makespan(self) -> float:
@@ -57,14 +89,13 @@ class Trace:
         return sorted(out, key=lambda s: s.start)
 
     def utilization(self) -> dict[tuple[int, int], float]:
-        """Busy fraction of each slot over the makespan."""
+        """Busy fraction of each inventoried slot over the makespan."""
         total = self.makespan
         if total == 0:
-            return {}
-        busy: dict[tuple[int, int], float] = {}
+            return {slot: 0.0 for slot in self.slots}
+        busy = {slot: 0.0 for slot in self.slots}
         for span in self.spans:
-            key = (span.node, span.slot)
-            busy[key] = busy.get(key, 0.0) + span.duration
+            busy[(span.node, span.slot)] += span.duration
         return {key: value / total for key, value in busy.items()}
 
     def mean_utilization(self) -> float:
@@ -73,8 +104,8 @@ class Trace:
 
     # -- export ---------------------------------------------------------------
     def to_json(self) -> str:
-        """One JSON object per task (Chrome-trace-adjacent layout)."""
-        events = [
+        """A ``{"slots", "spans"}`` document (Chrome-trace-adjacent spans)."""
+        spans = [
             {
                 "task": span.task_id,
                 "node": span.node,
@@ -84,20 +115,50 @@ class Trace:
             }
             for span in sorted(self.spans, key=lambda s: (s.node, s.slot, s.start))
         ]
-        return json.dumps(events, indent=2)
+        return json.dumps(
+            {"slots": [list(slot) for slot in self.slots], "spans": spans},
+            indent=2,
+        )
 
     @classmethod
     def from_json(cls, text: str) -> "Trace":
-        events = json.loads(text)
-        return cls(
-            spans=[
-                TaskSpan(
-                    task_id=e["task"], node=e["node"], slot=e["slot"],
-                    start=e["start"], end=e["end"],
+        """Load a trace from any of the formats we have ever written.
+
+        Accepted inputs: the current ``{"slots", "spans"}`` document, the
+        legacy bare span array, a single span object, and JSONL — one
+        JSON object per line, as written by
+        :class:`~repro.mapreduce.controlplane.events.JsonlTraceSink` —
+        where span-shaped lines become spans and typed event lines are
+        skipped.
+        """
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError:
+            return cls._from_jsonl(text)
+        if isinstance(document, list):  # legacy span array
+            return cls(spans=[_span_from_dict(record) for record in document])
+        if isinstance(document, dict):
+            if "spans" in document:
+                return cls(
+                    spans=[_span_from_dict(r) for r in document["spans"]],
+                    slots=[tuple(slot) for slot in document.get("slots", [])],
                 )
-                for e in events
-            ]
-        )
+            if _SPAN_KEYS <= document.keys():  # a single bare span
+                return cls(spans=[_span_from_dict(document)])
+        raise ValueError("unrecognized trace document")
+
+    @classmethod
+    def _from_jsonl(cls, text: str) -> "Trace":
+        """Parse JSONL event-stream output; keep the span-shaped lines."""
+        spans: list[TaskSpan] = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if isinstance(record, dict) and _SPAN_KEYS <= record.keys():
+                spans.append(_span_from_dict(record))
+        return cls(spans=spans)
 
     def gantt(self, width: int = 72) -> str:
         """ASCII Gantt: one row per slot, task ids mod 10 as fill digits."""
@@ -106,9 +167,8 @@ class Trace:
         if width < 10:
             raise ValueError(f"gantt needs width >= 10, got {width}")
         total = self.makespan
-        slots = sorted({(span.node, span.slot) for span in self.spans})
         lines = [f"0{' ' * (width - len(str(round(total, 1))) - 1)}{round(total, 1)}s"]
-        for node, slot in slots:
+        for node, slot in self.slots:
             row = [" "] * width
             for span in self.spans_on(node, slot):
                 lo = int(span.start / total * (width - 1))
@@ -130,6 +190,8 @@ def build_trace(
 
     Tasks placed on the same slot start in descending-cost order (the
     order LPT assigned them), each beginning when its predecessor ends.
+    The resulting trace inventories *every* usable slot, including ones
+    that received no tasks.
     """
     from .scheduler import schedule_lpt
 
@@ -154,4 +216,4 @@ def build_trace(
                 )
             )
             clock += duration
-    return Trace(spans=spans)
+    return Trace(spans=spans, slots=sorted(assignment.slot_loads))

@@ -338,6 +338,12 @@ class PairwiseComputation:
     max_attempts:
         Task retry budget applied to every job built here (Hadoop's
         ``mapred.map.max.attempts``); default 1, i.e. fail fast.
+    scheduling_policy, trace_sink:
+        Control-plane knobs forwarded to the engine this computation
+        builds when ``engine`` is not supplied (see
+        :class:`~repro.mapreduce.runtime.Engine`).  Passing either
+        together with an explicit ``engine`` raises — configure the
+        engine directly in that case.
     """
 
     def __init__(
@@ -352,13 +358,24 @@ class PairwiseComputation:
         kernel: Any = None,
         runtime_config: Mapping[str, Any] | None = None,
         max_attempts: int = 1,
+        scheduling_policy: Any = None,
+        trace_sink: Any = None,
     ):
         self.scheme = scheme
         self.comp = comp
         self.symmetric = symmetric
         self.kernel = kernel
         self.aggregator = aggregator or ConcatAggregator()
-        self.engine = engine or SerialEngine()
+        if engine is not None and (
+            scheduling_policy is not None or trace_sink is not None
+        ):
+            raise ValueError(
+                "pass scheduling_policy/trace_sink to the engine itself "
+                "when supplying an explicit engine"
+            )
+        self.engine = engine or SerialEngine(
+            scheduling_policy=scheduling_policy, trace_sink=trace_sink
+        )
         if num_reduce_tasks is None:
             num_reduce_tasks = max(1, scheme.num_tasks // 8)
         if num_reduce_tasks < 1:

@@ -56,15 +56,32 @@ def auto_pairwise(
     aggregator=None,
     engine=None,
     symmetric: bool = True,
+    auto_engine: bool = False,
+    scheduling_policy=None,
+    trace_sink=None,
 ) -> tuple[dict[int, Element], SchemeChoice]:
     """Evaluate all pairs of ``dataset`` under an auto-chosen scheme.
 
     ``element_size`` defaults to a pickled-size estimate of the payloads;
     pass the real deployment size when simulating capacity decisions for
     data bigger than the in-process sample.
+
+    ``auto_engine=True`` (flat schemes, ``engine=None``) sizes the engine
+    too, through the same :func:`repro.mapreduce.runtime.choose_engine`
+    crossover :meth:`Engine.auto` uses, keyed on the chosen scheme's
+    ``metrics().communication_records``; ``comp`` must then be picklable
+    in case the multiprocess engine is selected.  The built engine is
+    closed before returning.  ``scheduling_policy`` / ``trace_sink`` are
+    forwarded to whichever engine this call builds (pass them on your own
+    ``engine`` instead when supplying one).
     """
     if len(dataset) < 2:
         raise ValueError("pairwise computation needs at least two elements")
+    if engine is not None and (scheduling_policy is not None or trace_sink is not None):
+        raise ValueError(
+            "pass scheduling_policy/trace_sink to the engine itself "
+            "when supplying an explicit engine"
+        )
     if element_size is None:
         element_size = estimate_element_size(dataset)
     choice = choose_scheme(
@@ -84,12 +101,28 @@ def auto_pairwise(
         else:
             merged = run_rounds(dataset, comp, choice.scheme, aggregator=aggregator)
     else:
-        computation = PairwiseComputation(
-            choice.scheme,
-            comp,
-            aggregator=aggregator,
-            engine=engine,
-            symmetric=symmetric,
-        )
-        merged = computation.run(list(dataset))
+        owned_engine = None
+        if engine is None and auto_engine:
+            from ..mapreduce.runtime import choose_engine
+
+            owned_engine = choose_engine(
+                choice.scheme.metrics().communication_records,
+                scheduling_policy=scheduling_policy,
+                trace_sink=trace_sink,
+            )
+            scheduling_policy = trace_sink = None
+        try:
+            computation = PairwiseComputation(
+                choice.scheme,
+                comp,
+                aggregator=aggregator,
+                engine=engine or owned_engine,
+                symmetric=symmetric,
+                scheduling_policy=scheduling_policy,
+                trace_sink=trace_sink,
+            )
+            merged = computation.run(list(dataset))
+        finally:
+            if owned_engine is not None:
+                owned_engine.close()
     return merged, choice

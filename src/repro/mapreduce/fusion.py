@@ -1,0 +1,243 @@
+"""Fused job chaining: the reduce→map short-circuit for direct shuffles.
+
+When stage i's reduce feeds a stage i+1 whose map phase is
+identity-shaped (:func:`fusable`), stage i's reduce tasks partition
+their output with stage i+1's partitioner and write its spill files
+directly — stage i+1 starts from disk, its identity map phase is elided,
+and stage i's records never reach the driver (its
+:class:`~repro.mapreduce.job.JobResult` has ``records_elided=True`` and
+an empty record list).  The elided map's data-plane counters (map
+input/output records and bytes, shuffle volume) are synthesized from the
+manifest sums and equal the unfused values exactly; only attempt
+bookkeeping (``task_attempts``) differs, since no map attempts run.
+
+The driver-side half lives here; the worker-side half (partition + spill
+at source, triggered by ``ReduceTaskSpec.next_stage``) is in
+:mod:`repro.mapreduce.tasks`.  The entry point
+:func:`run_fused_chain` is engine-parameterized — it drives the pooled
+engine's phase machinery (``_map_phase``/``_reduce_phase``/job
+broadcast hooks) without importing :mod:`repro.mapreduce.runtime`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from typing import Any, Sequence
+
+from .controlplane import BytesMoved, SpillWritten
+from .counters import (
+    FRAMEWORK_GROUP,
+    MAP_INPUT_RECORDS,
+    MAP_OUTPUT_BYTES,
+    MAP_OUTPUT_RECORDS,
+    SHUFFLE_BYTES,
+    SHUFFLE_RECORDS,
+    Counters,
+)
+from .job import Job, JobResult, KeyValue, Mapper, TaskFailedError
+from .stats import ShuffleState
+from .tasks import JobRef, NextStage
+
+
+def fusable(prev: Job, nxt: Job) -> bool:
+    """True when ``nxt``'s map phase can be elided at ``prev``'s reducers.
+
+    Safe exactly when the next job's map phase is a pure identity
+    reshuffle: the default :class:`~repro.mapreduce.job.Mapper` map
+    (no subclass override, no setup/cleanup hooks) and no combiner —
+    then partitioning the upstream reduce output at source is
+    observationally identical to running the map tasks.  Either job
+    can opt out with ``config["pipeline_fusion"]=False``.  A fault
+    plan that could target the next job's (elided) map attempts also
+    blocks fusion, so injected-fault runs stay bit-identical.
+    """
+    if prev.reducer is None or nxt.reducer is None or nxt.num_reducers < 1:
+        return False
+    if nxt.combiner is not None:
+        return False
+    if not prev.config.get("pipeline_fusion", True):
+        return False
+    if not nxt.config.get("pipeline_fusion", True):
+        return False
+    mapper = nxt.mapper
+    if not (
+        isinstance(mapper, type)
+        and issubclass(mapper, Mapper)
+        and mapper.map is Mapper.map
+        and mapper.setup is Mapper.setup
+        and mapper.cleanup is Mapper.cleanup
+    ):
+        return False
+    plan = nxt.config.get("fault_plan")
+    if plan is not None:
+        if any(
+            getattr(plan, rate, 0.0)
+            for rate in ("crash_rate", "slow_rate", "kill_rate")
+        ):
+            return False
+        if any(
+            fault.task_kind in (None, "map")
+            for fault in getattr(plan, "faults", ())
+        ):
+            return False
+    return True
+
+
+def gather_fused(
+    engine: Any,
+    reduce_outputs: list[Any],
+    num_partitions: int,
+    counters: Counters,
+) -> ShuffleState:
+    """Fold fused reduce manifests into the next stage's shuffle state."""
+    gathered: list[list] = [[] for _ in range(num_partitions)]
+    part_records = [0] * num_partitions
+    part_bytes = [0] * num_partitions
+    observing = engine._observing
+    for task, (fused, counter_dict, info) in enumerate(reduce_outputs):
+        counters.merge(Counters.from_dict(counter_dict))
+        engine._note_worker(info)
+        manifest_bytes = len(
+            pickle.dumps(fused.entries, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        engine.stats.driver_bytes += manifest_bytes
+        if observing:
+            engine._emit(
+                BytesMoved(
+                    time=time.monotonic(),
+                    channel="fused_manifest",
+                    num_bytes=manifest_bytes,
+                )
+            )
+        for partition, entry in enumerate(fused.entries):
+            if entry is not None:
+                gathered[partition].append(entry)
+                engine.stats.spill_files_written += 1
+                engine.stats.spill_bytes_written += entry[1]
+                if observing:
+                    engine._emit(
+                        SpillWritten(
+                            time=time.monotonic(),
+                            kind="fuse",
+                            task_index=task,
+                            partition=partition,
+                            num_bytes=entry[1],
+                        )
+                    )
+            part_records[partition] += fused.counts[partition]
+            part_bytes[partition] += fused.sizes[partition]
+    return ShuffleState(
+        mode="direct",
+        gathered=gathered,
+        part_records=part_records,
+        part_bytes=part_bytes,
+    )
+
+
+def run_fused_chain(
+    engine: Any,
+    jobs: Sequence[Job],
+    input_records: Sequence[KeyValue],
+    *,
+    num_map_tasks: int | None = None,
+) -> list[JobResult]:
+    """Run a job chain on ``engine``, fusing adjacent stages where safe.
+
+    The caller has already established the preconditions (direct shuffle
+    plane, ≥ 2 jobs, fusion not disabled); each adjacent pair is still
+    checked with :func:`fusable` and falls back to a plain staged run
+    when the pair doesn't qualify.
+    """
+    jobs = list(jobs)
+    results: list[JobResult] = []
+    records: Sequence[KeyValue] = input_records
+    handles: dict[int, JobRef] = {}
+
+    def handle_for(index: int) -> JobRef:
+        if index not in handles:
+            handles[index] = engine._job_handle(jobs[index])
+        return handles[index]
+
+    pending: ShuffleState | None = None  # spilled at source by stage i-1
+    try:
+        for index, job in enumerate(jobs):
+            try:
+                handle = handle_for(index)
+                num_partitions = job.num_reducers if job.reducer is not None else 0
+                counters = Counters()
+                num_splits = 0
+                if pending is not None:
+                    # Fused-in stage: its shuffle input is already on
+                    # disk.  Synthesize the elided identity map's
+                    # data-plane counters from the manifest sums so
+                    # fused and unfused runs report identical volumes.
+                    state = pending
+                    pending = None
+                    fed_records = sum(state.part_records)
+                    fed_bytes = sum(state.part_bytes)
+                    counters.increment(
+                        FRAMEWORK_GROUP, MAP_INPUT_RECORDS, fed_records
+                    )
+                    counters.increment(
+                        FRAMEWORK_GROUP, MAP_OUTPUT_RECORDS, fed_records
+                    )
+                    counters.increment(FRAMEWORK_GROUP, MAP_OUTPUT_BYTES, fed_bytes)
+                else:
+                    splits = engine._plan_splits(job, records, num_map_tasks)
+                    num_splits = len(splits)
+                    state = engine._map_phase(
+                        job, handle, splits, num_partitions, counters
+                    )
+                if job.reducer is None:
+                    records = [r for part in state.gathered for r in part]
+                    results.append(JobResult(records, counters, num_splits, 0))
+                    continue
+                counters.increment(
+                    FRAMEWORK_GROUP, SHUFFLE_RECORDS, sum(state.part_records)
+                )
+                counters.increment(
+                    FRAMEWORK_GROUP, SHUFFLE_BYTES, sum(state.part_bytes)
+                )
+                next_stage = None
+                if index + 1 < len(jobs) and fusable(job, jobs[index + 1]):
+                    next_handle = handle_for(index + 1)
+                    next_stage = NextStage(
+                        job=next_handle,
+                        num_partitions=jobs[index + 1].num_reducers,
+                        spill_dir=engine._shuffle_dir(next_handle),
+                    )
+                reduce_outputs = engine._reduce_phase(
+                    job, handle, state, next_stage=next_stage
+                )
+                if next_stage is not None:
+                    pending = gather_fused(
+                        engine, reduce_outputs, next_stage.num_partitions, counters
+                    )
+                    engine.stats.fused_stages += 1
+                    results.append(
+                        JobResult(
+                            [],
+                            counters,
+                            num_splits,
+                            num_partitions,
+                            records_elided=True,
+                        )
+                    )
+                else:
+                    records = []
+                    for output, counter_dict, info in reduce_outputs:
+                        counters.merge(Counters.from_dict(counter_dict))
+                        engine._note_worker(info)
+                        records.extend(output)
+                    results.append(
+                        JobResult(records, counters, num_splits, num_partitions)
+                    )
+            except TaskFailedError as exc:
+                exc.stage_index = index
+                exc.job_name = job.name
+                raise
+        return results
+    finally:
+        for handle in handles.values():
+            engine._release_job(handle)

@@ -1,143 +1,109 @@
 """Execution engines: run a :class:`~repro.mapreduce.job.Job` over splits.
 
-Two engines share one code path per task:
-
-- :class:`SerialEngine` — everything in-process, deterministic, the default
-  for tests and validation;
-- :class:`MultiprocessEngine` — map and reduce tasks fan out over a
-  **persistent** ``ProcessPoolExecutor`` that lives across map/reduce
-  phases and across the chained jobs of a pipeline.  Mapper/reducer
-  factories, cache payloads and records must be picklable; results are
-  bit-identical to the serial engine (stable hashing + sorted shuffle make
-  order deterministic).
+Two engines share one code path per task (worker-side execution lives in
+:mod:`repro.mapreduce.tasks`, attempt/retry/speculation decisions in
+:mod:`repro.mapreduce.controlplane`, spill-file plumbing in
+:mod:`repro.mapreduce.spill`): :class:`SerialEngine` runs everything
+in-process and deterministic (the default for tests and validation);
+:class:`MultiprocessEngine` fans map and reduce tasks out over a
+**persistent** ``ProcessPoolExecutor`` that lives across phases and
+chained jobs (everything shipped must be picklable; results are
+bit-identical to the serial engine).
 
 The multiprocess engine is built around two ideas from the paper's cost
 model (replication rate × communication cost is the governing tradeoff):
+**one-shot job broadcast** (a job's static parts are pickled once to a
+broadcast file and localized lazily per worker — see
+:mod:`repro.mapreduce.tasks`) and a **direct, driver-bypass shuffle**
+(``shuffle_mode="direct"``: map output moves through attempt-scoped
+spill files and only manifests cross the driver — see
+:mod:`repro.mapreduce.spill`; ``"relay"`` keeps the legacy
+driver-forwarding plane).  :meth:`Engine.run_chain` on the pooled engine
+additionally *fuses* adjacent pipeline stages whose next map phase is
+identity-shaped (see :mod:`repro.mapreduce.fusion`).  **Fault
+tolerance** mirrors Hadoop 0.20: per-attempt wall-clock budgets,
+deterministic retry backoff, transparent recovery from dead workers
+(pool respawn + lost-attempt charging via began-markers), driver-side
+kills of hung attempts, and end-of-phase speculative backups — see
+:mod:`repro.mapreduce.controlplane.attempts` for the state machine.
 
-**One-shot job broadcast.**  A job's static parts — mapper/reducer
-factories, config, and the distributed cache holding the dataset — are
-pickled *once per job* to a broadcast file; each pool worker loads and
-caches it on first touch (once per worker, like Hadoop's DistributedCache
-localization).  Task specs shrink to just their record slices instead of
-carrying a full copy of the job, so a b-task run no longer ships the cache
-b times.  :attr:`MultiprocessEngine.stats` meters what the driver actually
-pickled.
+**Control plane.**  Both engines orchestrate through the shared control
+plane: an :class:`~repro.mapreduce.controlplane.AttemptTracker` per
+phase owns attempt lifecycle and speculation decisions; a pluggable
+:class:`~repro.mapreduce.controlplane.SchedulingPolicy`
+(``scheduling_policy=`` — ``"fifo"`` default, ``"lpt"``,
+``"round_robin"``) orders task dispatch by estimated working-set cost
+(the paper's ``|D_l|`` split sizes and ``|P_l|`` partition bytes);
+results stay bit-identical across policies because outputs are keyed by
+task index.  Engines narrate attempt transitions, spills, and bytes
+moved on an :class:`~repro.mapreduce.controlplane.EventBus`
+(``trace_sink=`` attaches a
+:class:`~repro.mapreduce.controlplane.JsonlTraceSink` whose file loads
+straight into :class:`repro.cluster.trace.Trace`).
 
-**Direct (driver-bypass) shuffle.**  By default
-(``shuffle_mode="direct"``) map tasks write each partition as a spill
-file — one NPB1-framed chunk per (task, partition) under the job's
-scratch dir — and return only a *manifest* (paths + record/byte counts);
-reduce tasks open their partition's spill files directly and stream the
-records through the sort (external merge via
-:mod:`repro.mapreduce.extsort` past the spill threshold).  The driver
-orchestrates but never touches record payloads: what crosses it shrinks
-from the full shuffle volume to manifest-size
-(:attr:`EngineStats.driver_bytes`).  Spill files are attempt-scoped
-(named by task, dispatch attempt, and speculative flag) and published by
-atomic rename, so retries, speculative attempts and worker crashes can
-never corrupt or collide a file — losers just leave orphans that are
-removed with the job.  The legacy ``shuffle_mode="relay"`` keeps the
-PR-1 path: map tasks return pre-encoded chunks, the driver gathers them
-opaquely and forwards them to reduce tasks.  Both modes meter
-``SHUFFLE_BYTES`` from the map-reported sums and produce bit-identical
-job results.
-
-**Fused job chaining.**  :meth:`Engine.run_chain` runs a job chain; on
-the pooled engine in direct mode, adjacent stages are *fused* when the
-next job's map phase is identity-shaped (default mapper, no combiner):
-the upstream reduce tasks partition their output at source with the next
-job's partitioner and write its spill files directly, so the next stage
-starts from disk without a driver-side materialize + re-ingest.  The
-elided identity map phase's data-plane counters are synthesized from the
-manifest sums (bit-identical to the unfused values); the fused stage's
-:class:`~repro.mapreduce.job.JobResult` carries no records
-(``records_elided=True``).  Opt out per job with
-``config["pipeline_fusion"]=False``.
-
-Both engines meter the framework counters (records and bytes at every
-stage) that the evaluation harness compares against the paper's Table-1
-predictions.  Engine-level dispatch metrics (bytes pickled, broadcast
-loads) are deliberately kept *out* of job counters so serial and pooled
-runs stay bit-identical.
-
-**Fault tolerance.**  Task execution mirrors Hadoop 0.20's fault model
-(the paper's premise that commodity-cluster failures are survivable):
-
-- every attempt runs under an optional per-task wall-clock budget
-  (``config["task_timeout_seconds"]``) — an over-budget attempt fails and
-  retries; on the pooled engine a *hung* attempt is killed with its
-  worker pool and the lost tasks re-dispatched;
-- retries back off exponentially with deterministic jitter
-  (``config["retry_backoff_seconds"]``);
-- a dead worker process (``BrokenProcessPool``) is recovered
-  transparently: the pool is respawned, new workers re-localize the job
-  broadcast lazily from the (still on disk) broadcast file, and only the
-  tasks that were in flight are re-run — each charged one attempt;
-- near the end of a task batch, stragglers get Hadoop-style speculative
-  backup attempts (``config["speculative_execution"]``); the first
-  finisher wins and the loser's output is discarded, so results stay
-  bit-identical to :class:`SerialEngine`;
-- deterministic fault injection (``config["fault_plan"]``, a
-  :class:`~repro.mapreduce.faults.FaultPlan`) makes all of the above
-  reproducibly testable.
-
-Attempt numbering is global: attempts lost driver-side (dead worker,
-hang kill) advance the same 1-based counter the worker-side retry loop
-uses, so ``max_attempts`` bounds the *total* effort per task and
-attempt-pinned injected faults never re-fire on re-dispatch.
+Both engines meter the framework counters the evaluation harness
+compares against the paper's Table-1 predictions.  Engine-level dispatch
+metrics (bytes pickled, broadcast loads) are deliberately kept *out* of
+job counters so serial and pooled runs stay bit-identical.
 """
 
 from __future__ import annotations
 
-import math
-import os
 import pickle
 import shutil
-import statistics
 import tempfile
 import time
 import weakref
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Sequence
 
-from .faults import FaultPlan, PoisonedRecordError, _draw
+from .controlplane import (
+    AttemptTracker,
+    BytesMoved,
+    EventBus,
+    PhaseMarker,
+    SchedulingPolicy,
+    SpillWritten,
+    TaskCost,
+    resolve_policy,
+)
 
+# Counter names, the backoff helper, spill threshold and reduce-spill
+# counters moved out with the control-plane/worker split; re-exported
+# here because they are part of this module's long-standing surface.
+from .controlplane.attempts import (  # noqa: F401  (re-exports)
+    TASK_ATTEMPTS,
+    TASK_FAILURES,
+    TASK_RETRIES,
+    TASKS_TIMED_OUT,
+    backoff_seconds as _backoff_seconds,
+)
 from .counters import (
-    COMBINE_INPUT_RECORDS,
-    COMBINE_OUTPUT_RECORDS,
     FRAMEWORK_GROUP,
-    MAP_INPUT_RECORDS,
-    MAP_OUTPUT_BYTES,
-    MAP_OUTPUT_RECORDS,
-    REDUCE_INPUT_GROUPS,
-    REDUCE_INPUT_RECORDS,
-    REDUCE_OUTPUT_RECORDS,
     SHUFFLE_BYTES,
     SHUFFLE_RECORDS,
     Counters,
 )
-from .extsort import ExternalSorter, sorted_groups
-from .job import (
-    Context,
-    Job,
-    JobResult,
-    KeyValue,
-    Mapper,
-    TaskFailedError,
-    TaskLostError,
-    TaskTimeoutError,
-)
-from .serialization import (
-    decode_records,
-    encode_records,
-    record_size,
-    write_chunk_file,
-)
-from .shuffle import iter_spill_records, partition_with_sizes, sort_and_group
+from .fusion import fusable, run_fused_chain
+from .job import Job, JobResult, KeyValue, TaskFailedError
 from .splits import Split, split_by_count
+from .stats import EngineStats, ShuffleState
+from .tasks import (  # noqa: F401  (re-exports)
+    DEFAULT_SPILL_THRESHOLD_BYTES,
+    REDUCE_SPILL_RUNS,
+    REDUCE_SPILLED_RECORDS,
+    FusedOutput,
+    JobRef,
+    MapTaskSpec,
+    NextStage,
+    ReduceTaskSpec,
+    marker_path,
+    run_pickled_spec,
+    run_spec,
+    worker_init,
+)
 
 #: Default records per map split when neither ``num_map_tasks`` nor the
 #: job's ``config["records_per_split"]`` is given.  ``num_map_tasks``
@@ -146,14 +112,7 @@ from .splits import Split, split_by_count
 #: this constant is ignored.
 DEFAULT_RECORDS_PER_SPLIT = 5000
 
-#: Reduce partitions whose accounted byte size (per-partition sums
-#: reported by map tasks) exceeds this threshold are sorted via the
-#: external merge sort with the threshold as its memory budget, instead of
-#: an in-memory ``sorted()``.  Override per job with
-#: ``config["spill_threshold_bytes"]``.
-DEFAULT_SPILL_THRESHOLD_BYTES = 64 * 1024 * 1024
-
-#: Below this many records, :meth:`Engine.auto` picks :class:`SerialEngine`.
+#: Below this many records, :func:`choose_engine` picks :class:`SerialEngine`.
 #: The engine-scaling benchmark (BENCH_engine_scaling.json) shows the
 #: crossover empirically: at small scale (v=60 design-scheme docsim, a few
 #: thousand shuffled records) the serial engine beats the pooled one —
@@ -161,630 +120,67 @@ DEFAULT_SPILL_THRESHOLD_BYTES = 64 * 1024 * 1024
 #: while large record volumes amortize the dispatch overhead.
 AUTO_SERIAL_MAX_RECORDS = 20_000
 
-#: Framework counters for the reduce-side spill path (deterministic across
-#: engines: both decide from the same per-partition sums and threshold).
-REDUCE_SPILLED_RECORDS = "reduce_spilled_records"
-REDUCE_SPILL_RUNS = "reduce_spill_runs"
-
-#: Framework counter: failed attempts absorbed by retries (equals
-#: ``task_retries`` per winning task, but named so retry storms are
-#: legible in :class:`~repro.mapreduce.job.JobResult` counters).  Lost
-#: attempts (worker death, hang kill) are charged too — the winning
-#: re-dispatch reports them, so a recovered worker crash is visible in
-#: job counters even though no exception ever reached the retry loop.
-TASK_FAILURES = "task_failures"
-TASK_RETRIES = "task_retries"
-#: Framework counter: total attempts used by winning tasks (1 per task on
-#: a clean run; retries and lost attempts raise it).
-TASK_ATTEMPTS = "task_attempts"
-#: Framework counter: attempts that failed the post-hoc wall-clock check
-#: (attempt finished but over ``task_timeout_seconds``).  Driver-side hang
-#: kills are metered separately in :attr:`EngineStats.tasks_timed_out`.
-TASKS_TIMED_OUT = "tasks_timed_out"
-
 #: driver polling cadence for completion/hang/speculation checks
 _POLL_SECONDS = 0.05
 
 #: shuffle data planes a :class:`MultiprocessEngine` supports
 SHUFFLE_MODES = ("direct", "relay")
 
-
-@dataclass(frozen=True)
-class _JobRef:
-    """Driver-side handle to a broadcast job: workers load it lazily."""
-
-    uid: str
-    path: str
-
-
-@dataclass
-class _MapTaskSpec:
-    """One map task: its record slice plus a handle to the shared job.
-
-    ``job`` is either the :class:`Job` itself (serial engine) or a
-    :class:`_JobRef` pointing at the engine's broadcast file (pooled
-    engine) — the spec no longer carries the job's cache/config, which is
-    what keeps per-task pickling proportional to the records alone.
-    """
-
-    job: Any
-    records: list[KeyValue]
-    num_partitions: int
-    #: pre-encode partition chunks worker-side (pooled engine only)
-    encode: bool = False
-    #: direct shuffle: write encoded partitions as spill files under this
-    #: directory and return a manifest instead of the chunks
-    spill_dir: str | None = None
-    #: position of this task within its phase (fault plans key on it)
-    task_index: int = 0
-    #: 1-based global attempt this dispatch starts at (> 1 after the
-    #: driver lost earlier attempts to a dead/hung worker)
-    first_attempt: int = 1
-    #: True for a speculative backup dispatch of a straggling task
-    speculative: bool = False
-
-
-@dataclass(frozen=True)
-class _NextStage:
-    """Fused chaining: where a reduce task spills its output for job i+1.
-
-    ``job`` is the *next* job's broadcast ref (the worker resolves it to
-    get the partitioner — and localizes its cache as a side effect);
-    ``num_partitions``/``spill_dir`` describe the next job's shuffle.
-    """
-
-    job: Any
-    num_partitions: int
-    spill_dir: str
-
-
-@dataclass
-class _ReduceTaskSpec:
-    """One reduce task: its partition as records, chunks, or spill paths."""
-
-    job: Any
-    records: list[KeyValue] | None
-    chunks: list[bytes] | None
-    #: direct shuffle: this partition's spill files, in map-task order
-    #: (order fixes the arrival-order tie-break — see iter_spill_records)
-    spill_paths: list[str] | None = None
-    #: map-reported record count of the partition (REDUCE_INPUT_RECORDS;
-    #: with spill paths the records are never counted driver-side)
-    num_records: int = 0
-    #: accounted partition size (map-reported sums) driving the spill path
-    partition_bytes: int = 0
-    task_index: int = 0
-    first_attempt: int = 1
-    speculative: bool = False
-    #: when set, partition + spill this task's output for the next job
-    #: (the fused reduce→map short-circuit) instead of returning records
-    next_stage: _NextStage | None = None
-
-
-@dataclass
-class _FusedOutput:
-    """What a fused reduce task returns: the next job's shuffle manifest."""
-
-    #: per-partition ``(path, file_bytes)`` entry, or None when empty
-    entries: list[tuple[str, int] | None]
-    #: per-partition record counts of this task's contribution
-    counts: list[int]
-    #: per-partition accounted byte sums (record_size, not file bytes)
-    sizes: list[int]
-    #: total records this reduce task emitted (the elided map's input)
-    num_records: int
-
-
-def _spill_file(
-    spill_dir: str,
-    kind: str,
-    task_index: int,
-    attempt: int,
-    speculative: bool,
-    partition: int,
-) -> str:
-    """Attempt-scoped spill file name for one (task, partition) chunk.
-
-    The dispatch identity — task index, the dispatch's first attempt
-    number, and the speculative flag — is baked into the name, so a
-    re-dispatch after a lost worker or a speculative backup can never
-    collide with an earlier attempt's file.  (Within one dispatch the
-    worker writes only after its attempt loop succeeds, exactly once.)
-    """
-    tag = f"a{attempt}s" if speculative else f"a{attempt}"
-    return os.path.join(
-        spill_dir, f"{kind}-{task_index:05d}-{tag}-p{partition:05d}.spill"
-    )
-
-
-# -- worker-side job registry -------------------------------------------------
-#: jobs this worker has loaded from broadcast files, keyed by _JobRef.uid
-_WORKER_JOBS: dict[str, Job] = {}
-_WORKER_JOB_CAP = 8
-
-#: True inside pool worker processes (set by the initializer).  Injected
-#: worker-kill faults only take the process down when this is set; the
-#: serial engine degrades them to ordinary task failures.
-_IS_POOL_WORKER = False
-
-
-def _worker_init() -> None:
-    """Pool initializer: start every worker with an empty job registry.
-
-    With the ``fork`` start method workers would otherwise inherit
-    whatever the driver process had resident; clearing keeps the
-    load-once-per-worker accounting honest.
-    """
-    global _IS_POOL_WORKER
-    _IS_POOL_WORKER = True
-    _WORKER_JOBS.clear()
-
-
-def _resolve_job(handle: Any) -> tuple[Job, dict]:
-    """Turn a spec's job handle into the actual Job (loading at most once).
-
-    Returns ``(job, info)`` where ``info`` records the executing pid and
-    whether this call localized the broadcast (i.e. the one-shot cache
-    broadcast happened here).  The driver folds ``info`` into
-    :class:`EngineStats`, never into job counters.
-    """
-    if isinstance(handle, Job):
-        return handle, {"pid": os.getpid(), "loaded": False}
-    job = _WORKER_JOBS.get(handle.uid)
-    if job is not None:
-        return job, {"pid": os.getpid(), "loaded": False}
-    with open(handle.path, "rb") as fh:
-        job = pickle.load(fh)
-    _WORKER_JOBS[handle.uid] = job
-    while len(_WORKER_JOBS) > _WORKER_JOB_CAP:
-        _WORKER_JOBS.pop(next(iter(_WORKER_JOBS)))
-    return job, {"pid": os.getpid(), "loaded": True}
-
-
-def _marker_path(handle: _JobRef, kind: str, task_index: int, attempt: int) -> Path:
-    """Attempt-began marker: proves to the driver an attempt ran at all.
-
-    Workers touch it at the start of every attempt (same directory as the
-    job broadcast).  When the pool dies, the driver charges a lost attempt
-    only to tasks whose current attempt's marker exists — queued tasks
-    that never started are re-dispatched free, exactly like Hadoop
-    re-queues (rather than fails) tasks from a lost TaskTracker.
-    """
-    base = Path(handle.path)
-    return base.parent / f"{base.stem}.{kind}.{task_index}.{attempt}.began"
-
-
-def _attempt_marker(handle: Any, kind: str, task_index: int):
-    """Worker-side marker writer for pooled specs (None for in-process)."""
-    if not isinstance(handle, _JobRef):
-        return None
-
-    def mark(attempt: int) -> None:
-        try:
-            _marker_path(handle, kind, task_index, attempt).touch()
-        except OSError:  # pragma: no cover - marker loss only skews charging
-            pass
-
-    return mark
-
-
-def _spill_partitions(
-    partitions: list[list[KeyValue]],
-    counts: list[int],
-    spill_dir: str,
-    kind: str,
-    task_index: int,
-    attempt: int,
-    speculative: bool,
-) -> list[tuple[str, int] | None]:
-    """Encode and spill one task's partitions; return the manifest entries.
-
-    Empty partitions get no file (``None`` entry).  Runs worker-side
-    *after* the attempt loop succeeded, so a failed attempt never writes;
-    the atomic publish in :func:`write_chunk_file` covers mid-write kills.
-    """
-    entries: list[tuple[str, int] | None] = []
-    for partition, part in enumerate(partitions):
-        if counts[partition]:
-            chunk = encode_records(part)
-            path = _spill_file(
-                spill_dir, kind, task_index, attempt, speculative, partition
-            )
-            write_chunk_file(path, chunk)
-            entries.append((path, len(chunk)))
-        else:
-            entries.append(None)
-    return entries
-
-
-def _execute_map_task(spec: _MapTaskSpec) -> tuple[tuple, dict, dict]:
-    """Run one map task with retries.
-
-    Returns ``((partitions, partition_records, partition_bytes),
-    counters, info)`` where ``partitions`` holds manifest entries when
-    ``spec.spill_dir`` is set (direct shuffle), encoded chunks when only
-    ``spec.encode`` is set (relay), raw record lists otherwise.
-    """
-    job, info = _resolve_job(spec.job)
-    (partitions, counts, sizes), counters = _with_retries(
-        "map",
-        job,
-        lambda attempt: _map_attempt(job, spec, attempt),
-        task_index=spec.task_index,
-        first_attempt=spec.first_attempt,
-        speculative=spec.speculative,
-        marker=_attempt_marker(spec.job, "map", spec.task_index),
-    )
-    if spec.spill_dir is not None:
-        partitions = _spill_partitions(
-            partitions,
-            counts,
-            spec.spill_dir,
-            "map",
-            spec.task_index,
-            spec.first_attempt,
-            spec.speculative,
-        )
-    elif spec.encode:
-        partitions = [encode_records(part) for part in partitions]
-    return (partitions, counts, sizes), counters, info
-
-
-def _map_attempt(job: Job, spec: _MapTaskSpec, attempt: int) -> tuple[tuple, dict]:
-    """One attempt of a map task (fresh mapper + context)."""
-    plan: FaultPlan | None = job.config.get("fault_plan")
-    counters = Counters()
-    context = Context(counters, cache=job.cache, config=job.config)
-    mapper = job.mapper()
-    mapper.setup(context)
-    for ordinal, (key, value) in enumerate(spec.records):
-        if plan is not None and plan.poisons(
-            "map", spec.task_index, attempt, ordinal, speculative=spec.speculative
-        ):
-            raise PoisonedRecordError(
-                f"poisoned record {ordinal} in map task {spec.task_index} "
-                f"(attempt {attempt})"
-            )
-        counters.increment(FRAMEWORK_GROUP, MAP_INPUT_RECORDS)
-        mapper.map(key, value, context)
-    mapper.cleanup(context)
-    output = context.drain()
-    counters.increment(FRAMEWORK_GROUP, MAP_OUTPUT_RECORDS, len(output))
-
-    if job.combiner is not None:
-        # Combined output differs from raw map output, so the raw bytes
-        # must be measured before combining; the partition pass below
-        # re-measures the (smaller) combined records for shuffle volume.
-        counters.increment(
-            FRAMEWORK_GROUP,
-            MAP_OUTPUT_BYTES,
-            sum(record_size(k, v) for k, v in output),
-        )
-        counters.increment(FRAMEWORK_GROUP, COMBINE_INPUT_RECORDS, len(output))
-        combiner = job.combiner()
-        combine_context = Context(counters, cache=job.cache, config=job.config)
-        combiner.setup(combine_context)
-        for key, values in sort_and_group(output, job.sort_key):
-            combiner.reduce(key, values, combine_context)
-        combiner.cleanup(combine_context)
-        output = combine_context.drain()
-        counters.increment(FRAMEWORK_GROUP, COMBINE_OUTPUT_RECORDS, len(output))
-
-    if spec.num_partitions == 0:  # map-only job: single pseudo-partition
-        total = sum(record_size(k, v) for k, v in output)
-        if job.combiner is None:
-            counters.increment(FRAMEWORK_GROUP, MAP_OUTPUT_BYTES, total)
-        return ([output], [len(output)], [total]), counters.as_dict()
-
-    partitions, sizes = partition_with_sizes(
-        output, spec.num_partitions, job.partitioner
-    )
-    if job.combiner is None:
-        # Without a combiner the partitioned records *are* the map output;
-        # one record_size pass serves both counters.
-        counters.increment(FRAMEWORK_GROUP, MAP_OUTPUT_BYTES, sum(sizes))
-    counts = [len(part) for part in partitions]
-    return (partitions, counts, sizes), counters.as_dict()
-
-
-def _execute_reduce_task(spec: _ReduceTaskSpec) -> tuple[Any, dict, dict]:
-    """Run one reduce task (with retries) over its (unsorted) partition.
-
-    Input comes from spill files (direct shuffle), driver-relayed chunks,
-    or raw records (serial).  The spill-file stream is rebuilt from disk
-    for every attempt, so an attempt that died mid-merge retries against
-    a fresh, complete read of its input.  With ``spec.next_stage`` set
-    (fused chaining) the winning attempt's output is partitioned for the
-    next job and spilled at source; a :class:`_FusedOutput` manifest is
-    returned instead of the records.
-    """
-    job, info = _resolve_job(spec.job)
-    if spec.spill_paths is not None:
-        paths = spec.spill_paths
-
-        def load() -> Iterable[KeyValue]:
-            return iter_spill_records(paths)
-
-    else:
-        records = (
-            [record for chunk in spec.chunks for record in decode_records(chunk)]
-            if spec.chunks is not None
-            else spec.records or []
-        )
-
-        def load() -> Iterable[KeyValue]:
-            return records
-
-    output, counters = _with_retries(
-        "reduce",
-        job,
-        lambda attempt: _reduce_attempt(
-            job, load(), spec.num_records, spec.partition_bytes
-        ),
-        task_index=spec.task_index,
-        first_attempt=spec.first_attempt,
-        speculative=spec.speculative,
-        marker=_attempt_marker(spec.job, "reduce", spec.task_index),
-    )
-    if spec.next_stage is not None:
-        stage = spec.next_stage
-        next_job, next_info = _resolve_job(stage.job)
-        partitions, sizes = partition_with_sizes(
-            output, stage.num_partitions, next_job.partitioner
-        )
-        counts = [len(part) for part in partitions]
-        entries = _spill_partitions(
-            partitions,
-            counts,
-            stage.spill_dir,
-            "fuse",
-            spec.task_index,
-            spec.first_attempt,
-            spec.speculative,
-        )
-        if next_info["loaded"]:
-            info = {**info, "extra_loads": info.get("extra_loads", 0) + 1}
-        output = _FusedOutput(
-            entries=entries, counts=counts, sizes=sizes, num_records=len(output)
-        )
-    return output, counters, info
-
-
-def _backoff_seconds(base: float, kind: str, task_index: int, attempt: int) -> float:
-    """Exponential backoff with deterministic full jitter before ``attempt``.
-
-    The window doubles per retry (attempt 2 waits ~``base``, attempt 3
-    ~``2·base``, ...); the actual delay is a uniform draw from the upper
-    half of the window, keyed by task identity so reruns sleep the same.
-    """
-    window = base * (2 ** max(0, attempt - 2))
-    return window * (0.5 + 0.5 * _draw(0, kind, task_index, f"backoff{attempt}"))
-
-
-def _with_retries(
-    kind: str,
-    job: Job,
-    attempt_fn: Callable[[int], Any],
-    *,
-    task_index: int = 0,
-    first_attempt: int = 1,
-    speculative: bool = False,
-    marker: Callable[[int], None] | None = None,
-) -> Any:
-    """Hadoop's attempt loop: re-run a failed task up to job.max_attempts.
-
-    Each retry gets a completely fresh attempt (new task object, new
-    context, new counters), so partial effects of a failed attempt never
-    leak — the engine only ever keeps a *successful* attempt's output.
-    Every failed attempt's exception is chained to the previous one via
-    ``__cause__`` (the full retry history survives in the traceback) and
-    counted: the winning attempt's counters carry ``task_retries``,
-    ``task_failures`` and ``task_attempts`` so retry storms show up in job
-    results — including attempts lost *before* this loop ran
-    (``first_attempt > 1`` means the driver already lost that many to dead
-    workers, and they are charged here on success).
-
-    Per attempt, in order: optional injected faults fire
-    (``config["fault_plan"]``), the attempt runs under the post-hoc
-    wall-clock check (``config["task_timeout_seconds"]``), and failures
-    sleep an exponentially growing, deterministically jittered backoff
-    (``config["retry_backoff_seconds"]``) before the next attempt.
-    """
-    plan: FaultPlan | None = job.config.get("fault_plan")
-    timeout = job.config.get("task_timeout_seconds")
-    limit = float(timeout) if timeout is not None else None
-    backoff = float(job.config.get("retry_backoff_seconds", 0.0))
-    failures: list[BaseException] = []
-    timeouts = 0
-    attempt = first_attempt
-    while attempt <= job.max_attempts:
-        if failures and backoff > 0:
-            time.sleep(_backoff_seconds(backoff, kind, task_index, attempt))
-        try:
-            if marker is not None:
-                marker(attempt)
-            # The clock starts before injected faults so a SlowFault delay
-            # counts as attempt time — injected stragglers trip the same
-            # timeout a genuinely slow attempt would.
-            started = time.monotonic()
-            if plan is not None:
-                plan.fire(
-                    kind,
-                    task_index,
-                    attempt,
-                    speculative=speculative,
-                    in_worker=_IS_POOL_WORKER,
-                )
-            result, counters = attempt_fn(attempt)
-            elapsed = time.monotonic() - started
-            if limit is not None and elapsed > limit:
-                raise TaskTimeoutError(kind, task_index, attempt, elapsed, limit)
-        except Exception as exc:  # noqa: BLE001 - task code may raise anything
-            if failures:
-                exc.__cause__ = failures[-1]
-            failures.append(exc)
-            if isinstance(exc, TaskTimeoutError):
-                timeouts += 1
-            attempt += 1
-            continue
-        lost = first_attempt - 1
-        fail_count = len(failures) + lost
-        counters.setdefault(FRAMEWORK_GROUP, {})
-        framework = counters[FRAMEWORK_GROUP]
-        framework[TASK_ATTEMPTS] = framework.get(TASK_ATTEMPTS, 0) + attempt
-        if fail_count:
-            framework[TASK_RETRIES] = framework.get(TASK_RETRIES, 0) + fail_count
-            framework[TASK_FAILURES] = framework.get(TASK_FAILURES, 0) + fail_count
-        if timeouts:
-            framework[TASKS_TIMED_OUT] = framework.get(TASKS_TIMED_OUT, 0) + timeouts
-        return result, counters
-    if not failures:  # budget consumed entirely by driver-side lost attempts
-        lost_error = TaskLostError(kind, task_index, first_attempt - 1)
-        raise TaskFailedError(kind, job.max_attempts, lost_error, causes=[lost_error])
-    raise TaskFailedError(
-        kind, job.max_attempts, failures[-1], causes=failures
-    ) from failures[-1]
-
-
-def _reduce_attempt(
-    job: Job, records: Iterable[KeyValue], num_records: int, partition_bytes: int
-) -> tuple[list[KeyValue], dict]:
-    """One attempt of a reduce task.
-
-    ``records`` may be a list (serial/relay) or a fresh spill-file stream
-    (direct shuffle); ``num_records`` is the map-reported partition count,
-    so the counter never requires materializing the stream.
-    """
-    counters = Counters()
-    context = Context(counters, cache=job.cache, config=job.config)
-    assert job.reducer is not None  # guarded by Job validation
-    reducer = job.reducer()
-    reducer.setup(context)
-    counters.increment(FRAMEWORK_GROUP, REDUCE_INPUT_RECORDS, num_records)
-
-    threshold = int(
-        job.config.get("spill_threshold_bytes", DEFAULT_SPILL_THRESHOLD_BYTES)
-    )
-    sorter: ExternalSorter | None = None
-    if partition_bytes > threshold:
-        # Partition beyond the spill threshold: external merge sort with
-        # the threshold as memory budget.  Deterministic and identical to
-        # the in-memory path (same ordering + stable arrival-order ties).
-        sorter = ExternalSorter(memory_budget=max(1, threshold), sort_key=job.sort_key)
-        sorter.add_all(records)
-        groups = sorted_groups(sorter)
-    else:
-        groups = sort_and_group(records, job.sort_key)
-
-    try:
-        for key, values in groups:
-            counters.increment(FRAMEWORK_GROUP, REDUCE_INPUT_GROUPS)
-            if job.value_sort_key is not None:
-                values = iter(sorted(values, key=job.value_sort_key))
-            reducer.reduce(key, values, context)
-    finally:
-        if sorter is not None:
-            counters.increment(
-                FRAMEWORK_GROUP, REDUCE_SPILLED_RECORDS, sorter.spilled_records
-            )
-            counters.increment(FRAMEWORK_GROUP, REDUCE_SPILL_RUNS, sorter.num_runs)
-            sorter.close()
-    reducer.cleanup(context)
-    output = context.drain()
-    counters.increment(FRAMEWORK_GROUP, REDUCE_OUTPUT_RECORDS, len(output))
-    return output, counters.as_dict()
-
-
-def _run_spec(spec: Any) -> Any:
-    """Dispatch one spec to its executor (shared by serial and workers)."""
-    if isinstance(spec, _MapTaskSpec):
-        return _execute_map_task(spec)
-    return _execute_reduce_task(spec)
-
-
-def _run_pickled_spec(payload: bytes) -> Any:
-    """Worker entry point: specs arrive pre-pickled by the driver.
-
-    The driver pickles specs itself (instead of letting the executor do
-    it) so :class:`EngineStats` can meter exactly what crossed the process
-    boundary at zero extra cost.
-    """
-    return _run_spec(pickle.loads(payload))
-
-
-@dataclass
-class EngineStats:
-    """Driver-side dispatch metrics for a :class:`MultiprocessEngine`.
-
-    Kept out of job counters on purpose: job results stay bit-identical
-    between engines while the perf harness still gets exact byte
-    accounting.  ``broadcast_loads`` counts one-shot job localizations
-    (at most one per worker per job); ``worker_pids`` the distinct workers
-    that executed tasks.
-
-    The fault-tolerance metrics meter the driver's recovery work:
-    ``pool_restarts`` (worker pool respawned after a dead worker or hang
-    kill), ``tasks_relaunched`` (task dispatches re-issued after a pool
-    restart), ``tasks_timed_out`` (hung attempts the driver killed —
-    post-hoc attempt timeouts are job counters instead),
-    ``speculative_launched``/``speculative_wasted`` (backup attempts
-    started / attempts whose output lost the race and was discarded).
-
-    The shuffle data-plane meters quantify what the driver actually
-    touched: ``driver_bytes`` is the intermediate (map-output) bytes that
-    crossed the driver process — full encoded chunks on the relay path,
-    only pickled manifests on the direct path (final job output returned
-    to the caller is not shuffle traffic and is not counted);
-    ``spill_files_written``/``spill_bytes_written`` count the direct
-    path's on-disk spill chunks; ``fused_stages`` the reduce→map
-    short-circuits taken by :meth:`MultiprocessEngine.run_chain`.
-    """
-
-    pools_created: int = 0
-    jobs_broadcast: int = 0
-    broadcast_bytes: int = 0
-    spec_bytes: int = 0
-    tasks_dispatched: int = 0
-    broadcast_loads: int = 0
-    worker_pids: set = field(default_factory=set)
-    pool_restarts: int = 0
-    tasks_relaunched: int = 0
-    tasks_timed_out: int = 0
-    speculative_launched: int = 0
-    speculative_wasted: int = 0
-    driver_bytes: int = 0
-    spill_files_written: int = 0
-    spill_bytes_written: int = 0
-    fused_stages: int = 0
-
-    @property
-    def bytes_pickled(self) -> int:
-        """Everything the driver pickled to dispatch work (broadcast + specs)."""
-        return self.broadcast_bytes + self.spec_bytes
-
-
-@dataclass
-class _ShuffleState:
-    """One job's gathered map output, ready for the reduce phase.
-
-    ``gathered[p]`` holds partition ``p``'s data in map-task order: raw
-    records (``mode="memory"``), encoded chunks (``"relay"``), or
-    ``(path, file_bytes)`` manifest entries (``"direct"``).  The
-    map-reported per-partition record/byte sums drive the shuffle
-    counters and the reduce-side spill decision in every mode.
-    """
-
-    mode: str
-    gathered: list[list]
-    part_records: list[int]
-    part_bytes: list[int]
+# Legacy private aliases from before the split into repro.mapreduce.tasks.
+_JobRef = JobRef
+_MapTaskSpec = MapTaskSpec
+_NextStage = NextStage
+_ReduceTaskSpec = ReduceTaskSpec
+_FusedOutput = FusedOutput
+_run_spec = run_spec
+_run_pickled_spec = run_pickled_spec
+_worker_init = worker_init
+_marker_path = marker_path
+_ShuffleState = ShuffleState
 
 
 class Engine:
-    """Shared orchestration: split planning, shuffle accounting, result."""
+    """Shared orchestration: split planning, shuffle accounting, result.
+
+    ``scheduling_policy`` (a
+    :class:`~repro.mapreduce.controlplane.SchedulingPolicy`, a registry
+    name, or None for fifo) orders task dispatch within each phase;
+    ``trace_sink`` (e.g. a
+    :class:`~repro.mapreduce.controlplane.JsonlTraceSink`) subscribes to
+    the engine's :attr:`events` bus and is closed with the engine.
+    """
 
     #: how map output reaches reduce tasks; pooled engines override
     _shuffle_mode = "memory"
+
+    def __init__(
+        self,
+        *,
+        scheduling_policy: SchedulingPolicy | str | None = None,
+        trace_sink: Any = None,
+    ):
+        self.scheduling_policy = resolve_policy(scheduling_policy)
+        self.events = EventBus()
+        self._trace_sink = trace_sink
+        if trace_sink is not None:
+            self.events.subscribe(trace_sink.record)
+
+    # -- observability ---------------------------------------------------------
+    @property
+    def _observing(self) -> bool:
+        """True when someone listens; event objects aren't built otherwise.
+
+        ``getattr`` keeps engines defined before the control plane (or
+        subclasses skipping ``super().__init__``) working unobserved.
+        """
+        events = getattr(self, "events", None)
+        return events is not None and len(events) > 0
+
+    def _bus(self) -> EventBus | None:
+        return getattr(self, "events", None) if self._observing else None
+
+    def _emit(self, event: Any) -> None:
+        self.events.emit(event)
 
     def run(
         self,
@@ -810,9 +206,11 @@ class Engine:
 
         num_partitions = job.num_reducers if job.reducer is not None else 0
         handle = self._job_handle(job)
+        started = time.monotonic()
         try:
             return self._run_phases(job, handle, splits, num_partitions)
         finally:
+            self._note_run(time.monotonic() - started)
             self._release_job(handle)
 
     def run_chain(
@@ -895,6 +293,42 @@ class Engine:
             num_reduce_tasks=num_partitions,
         )
 
+    @staticmethod
+    def _phase_costs(specs: list[Any]) -> list[TaskCost]:
+        """Estimated task costs for the scheduling policy, by working set.
+
+        Map tasks are costed by their split's record count (the paper's
+        ``|D_l|``), reduce tasks by their partition's accounted bytes
+        (``|P_l|``, falling back to the record count for in-memory
+        partitions).  Units are arbitrary — policies only compare.
+        """
+        costs = []
+        for index, spec in enumerate(specs):
+            if isinstance(spec, MapTaskSpec):
+                seconds = float(len(spec.records))
+            else:
+                seconds = float(spec.partition_bytes or spec.num_records)
+            costs.append(TaskCost(task_id=index, seconds=seconds))
+        return costs
+
+    def _dispatch_order(self, specs: list[Any]) -> list[int]:
+        policy = getattr(self, "scheduling_policy", None)
+        if policy is None:
+            return list(range(len(specs)))
+        return policy.dispatch_order(self._phase_costs(specs))
+
+    def _phase_marker(self, job: Job, kind: str, num_tasks: int, state: str) -> None:
+        if self._observing:
+            self._emit(
+                PhaseMarker(
+                    time=time.monotonic(),
+                    job=job.name,
+                    kind=kind,
+                    num_tasks=num_tasks,
+                    state=state,
+                )
+            )
+
     def _map_phase(
         self,
         job: Job,
@@ -907,7 +341,7 @@ class Engine:
         mode = self._shuffle_mode if num_partitions > 0 else "memory"
         spill_dir = self._shuffle_dir(handle) if mode == "direct" else None
         map_specs = [
-            _MapTaskSpec(
+            MapTaskSpec(
                 job=handle,
                 records=split.records,
                 num_partitions=num_partitions,
@@ -917,20 +351,34 @@ class Engine:
             )
             for index, split in enumerate(splits)
         ]
+        self._phase_marker(job, "map", len(map_specs), "started")
         map_outputs = self._run_tasks(map_specs, job)
 
         slots = max(1, num_partitions)
         gathered: list[list] = [[] for _ in range(slots)]
         part_records = [0] * slots
         part_bytes = [0] * slots
-        for (partitions, counts, sizes), counter_dict, info in map_outputs:
+        observing = self._observing
+        for task, ((partitions, counts, sizes), counter_dict, info) in enumerate(
+            map_outputs
+        ):
             counters.merge(Counters.from_dict(counter_dict))
             self._note_worker(info)
             if mode == "direct":
                 # What crossed the driver for this task is its manifest.
-                self.stats.driver_bytes += len(
+                manifest_bytes = len(
                     pickle.dumps(partitions, protocol=pickle.HIGHEST_PROTOCOL)
                 )
+                self.stats.driver_bytes += manifest_bytes
+                if observing:
+                    self._emit(
+                        BytesMoved(
+                            time=time.monotonic(),
+                            channel="map_manifest",
+                            num_bytes=manifest_bytes,
+                        )
+                    )
+            relayed = 0
             for index, part in enumerate(partitions):
                 if mode == "memory":
                     gathered[index].extend(part)
@@ -938,12 +386,32 @@ class Engine:
                     if counts[index]:
                         gathered[index].append(part)
                         self.stats.driver_bytes += len(part)
+                        relayed += len(part)
                 elif part is not None:  # direct: (path, file_bytes) entry
                     gathered[index].append(part)
                     self.stats.spill_files_written += 1
                     self.stats.spill_bytes_written += part[1]
+                    if observing:
+                        self._emit(
+                            SpillWritten(
+                                time=time.monotonic(),
+                                kind="map",
+                                task_index=task,
+                                partition=index,
+                                num_bytes=part[1],
+                            )
+                        )
                 part_records[index] += counts[index]
                 part_bytes[index] += sizes[index]
+            if observing and relayed:
+                self._emit(
+                    BytesMoved(
+                        time=time.monotonic(),
+                        channel="map_output",
+                        num_bytes=relayed,
+                    )
+                )
+        self._phase_marker(job, "map", len(map_specs), "finished")
         return _ShuffleState(
             mode=mode,
             gathered=gathered,
@@ -957,14 +425,14 @@ class Engine:
         handle: Any,
         state: _ShuffleState,
         *,
-        next_stage: _NextStage | None = None,
+        next_stage: NextStage | None = None,
     ) -> list[Any]:
         """Build and run the reduce tasks over gathered map output."""
         reduce_specs = []
         for index in range(len(state.gathered)):
             part = state.gathered[index]
             reduce_specs.append(
-                _ReduceTaskSpec(
+                ReduceTaskSpec(
                     job=handle,
                     records=part if state.mode == "memory" else None,
                     chunks=part if state.mode == "relay" else None,
@@ -977,7 +445,10 @@ class Engine:
                     next_stage=next_stage,
                 )
             )
-        return self._run_tasks(reduce_specs, job)
+        self._phase_marker(job, "reduce", len(reduce_specs), "started")
+        outputs = self._run_tasks(reduce_specs, job)
+        self._phase_marker(job, "reduce", len(reduce_specs), "finished")
+        return outputs
 
     @staticmethod
     def auto(
@@ -986,27 +457,16 @@ class Engine:
         max_workers: int | None = None,
         serial_below: int = AUTO_SERIAL_MAX_RECORDS,
     ) -> "Engine":
-        """Pick an engine from a workload-size hint (records through the run).
-
-        ``workload_hint`` is the caller's estimate of how many records the
-        job will push through map+shuffle (e.g. a scheme's
-        ``metrics().communication_records``, or ``len(input_records)`` for
-        plain jobs).  Below ``serial_below`` (default
-        :data:`AUTO_SERIAL_MAX_RECORDS`, from the engine-scaling
-        benchmark's measured crossover) a :class:`SerialEngine` is
-        returned — at small scale pool startup and job broadcasts dominate
-        and serial wins; at or above it, a :class:`MultiprocessEngine`
-        with ``max_workers``.  ``None`` (unknown workload) conservatively
-        picks serial.
-        """
-        if workload_hint is not None and workload_hint < 0:
-            raise ValueError(f"workload_hint must be >= 0, got {workload_hint}")
-        if workload_hint is None or workload_hint < serial_below:
-            return SerialEngine()
-        return MultiprocessEngine(max_workers=max_workers)
+        """Pick an engine from a workload-size hint — see :func:`choose_engine`."""
+        return choose_engine(
+            workload_hint, max_workers=max_workers, serial_below=serial_below
+        )
 
     def close(self) -> None:
-        """Release engine resources (noop for in-process engines)."""
+        """Release engine resources and close the attached trace sink."""
+        sink = getattr(self, "_trace_sink", None)
+        if sink is not None:
+            sink.close()
 
     def __enter__(self) -> "Engine":
         return self
@@ -1029,6 +489,9 @@ class Engine:
     def _note_worker(self, info: dict) -> None:
         """Fold one task's worker info into engine stats (noop by default)."""
 
+    def _note_run(self, seconds: float) -> None:
+        """Fold one run's wall-clock into engine stats (noop by default)."""
+
     def _run_tasks(self, specs: list[Any], job: Job) -> list[Any]:
         raise NotImplementedError
 
@@ -1044,7 +507,58 @@ class SerialEngine(Engine):
     """
 
     def _run_tasks(self, specs: list[Any], job: Job) -> list[Any]:
-        return [_run_spec(spec) for spec in specs]
+        if not specs:
+            return []
+        kind = "map" if isinstance(specs[0], MapTaskSpec) else "reduce"
+        tracker = AttemptTracker(kind, len(specs), job, bus=self._bus())
+        results: dict[int, Any] = {}
+        for index in self._dispatch_order(specs):
+            attempt = tracker.begin_dispatch(index)
+            tracker.mark_running(attempt)
+            try:
+                output = run_spec(specs[index])
+            except Exception:
+                tracker.fail(attempt)
+                raise
+            tracker.complete(attempt, worker_pid=output[2].get("pid"))
+            results[index] = output
+        return [results[index] for index in range(len(specs))]
+
+
+def choose_engine(
+    workload_hint: int | None = None,
+    *,
+    max_workers: int | None = None,
+    serial_below: int = AUTO_SERIAL_MAX_RECORDS,
+    scheduling_policy: SchedulingPolicy | str | None = None,
+    trace_sink: Any = None,
+) -> Engine:
+    """Pick an engine from a workload-size hint (records through the run).
+
+    The single serial/multiprocess crossover used by both
+    :meth:`Engine.auto` and :func:`repro.core.runner.auto_pairwise`.
+    ``workload_hint`` is the caller's estimate of how many records the
+    job pushes through map+shuffle (a scheme's
+    ``metrics().communication_records``, or ``len(input_records)``).
+    Below ``serial_below`` (default :data:`AUTO_SERIAL_MAX_RECORDS`, the
+    engine-scaling benchmark's measured crossover) a
+    :class:`SerialEngine` is returned — at small scale pool startup and
+    job broadcasts dominate; at or above it, a
+    :class:`MultiprocessEngine` with ``max_workers``.  ``None`` (unknown
+    workload) conservatively picks serial.  ``scheduling_policy`` and
+    ``trace_sink`` are passed through to whichever engine is built.
+    """
+    if workload_hint is not None and workload_hint < 0:
+        raise ValueError(f"workload_hint must be >= 0, got {workload_hint}")
+    if workload_hint is None or workload_hint < serial_below:
+        return SerialEngine(
+            scheduling_policy=scheduling_policy, trace_sink=trace_sink
+        )
+    return MultiprocessEngine(
+        max_workers=max_workers,
+        scheduling_policy=scheduling_policy,
+        trace_sink=trace_sink,
+    )
 
 
 def _dispose(resources: dict) -> None:
@@ -1065,24 +579,24 @@ class MultiprocessEngine(Engine):
     shuts it down — chained pipeline jobs pay process start-up exactly
     once.  Each job's static parts are broadcast once (see module
     docstring); :attr:`stats` accumulates dispatch metrics across runs.
-
-    ``max_workers=None`` uses the executor default (CPU count).  Everything
-    attached to the job must be picklable; task outputs come back in task
-    order so results match :class:`SerialEngine` exactly.  Usable as a
-    context manager::
-
-        with MultiprocessEngine(max_workers=4) as engine:
-            Pipeline([job1, job2], engine=engine).run(records)
-
-    ``shuffle_mode`` picks the shuffle data plane (see module docstring):
-    ``"direct"`` (default) moves map output through attempt-scoped spill
-    files and only manifests cross the driver; ``"relay"`` is the legacy
-    plane where the driver gathers and forwards encoded chunks.  Outputs
-    and job counters are bit-identical either way.
+    ``max_workers=None`` uses the executor default (CPU count); usable as
+    a context manager.  ``shuffle_mode`` picks the shuffle data plane
+    (see module docstring): ``"direct"`` (default) moves map output
+    through attempt-scoped spill files and only manifests cross the
+    driver; ``"relay"`` is the legacy plane where the driver gathers and
+    forwards encoded chunks.  Outputs and job counters are bit-identical
+    either way.  ``scheduling_policy`` orders dispatch within each phase
+    (fifo by default); ``trace_sink`` receives the run's structured
+    events (see :class:`Engine`).
     """
 
     def __init__(
-        self, max_workers: int | None = None, *, shuffle_mode: str = "direct"
+        self,
+        max_workers: int | None = None,
+        *,
+        shuffle_mode: str = "direct",
+        scheduling_policy: SchedulingPolicy | str | None = None,
+        trace_sink: Any = None,
     ):
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -1090,6 +604,7 @@ class MultiprocessEngine(Engine):
             raise ValueError(
                 f"shuffle_mode must be one of {SHUFFLE_MODES}, got {shuffle_mode!r}"
             )
+        super().__init__(scheduling_policy=scheduling_policy, trace_sink=trace_sink)
         self.max_workers = max_workers
         self._shuffle_mode = shuffle_mode
         self.stats = EngineStats()
@@ -1106,12 +621,13 @@ class MultiprocessEngine(Engine):
     def close(self) -> None:
         """Shut the pool down and remove broadcast files (engine reusable)."""
         _dispose(self._resources)
+        super().close()
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         pool = self._resources.get("pool")
         if pool is None:
             pool = ProcessPoolExecutor(
-                max_workers=self.max_workers, initializer=_worker_init
+                max_workers=self.max_workers, initializer=worker_init
             )
             self._resources["pool"] = pool
             self.stats.pools_created += 1
@@ -1125,7 +641,7 @@ class MultiprocessEngine(Engine):
         return Path(tmpdir.name)
 
     # -- engine hooks ----------------------------------------------------------
-    def _job_handle(self, job: Job) -> _JobRef:
+    def _job_handle(self, job: Job) -> JobRef:
         """Broadcast the job's static parts once; tasks carry a tiny ref."""
         self._job_seq += 1
         uid = f"job-{self._job_seq}"
@@ -1134,10 +650,10 @@ class MultiprocessEngine(Engine):
         path.write_bytes(data)
         self.stats.jobs_broadcast += 1
         self.stats.broadcast_bytes += len(data)
-        return _JobRef(uid=uid, path=str(path))
+        return JobRef(uid=uid, path=str(path))
 
     def _release_job(self, handle: Any) -> None:
-        if isinstance(handle, _JobRef):
+        if isinstance(handle, JobRef):
             base = Path(handle.path)
             base.unlink(missing_ok=True)
             for marker in base.parent.glob(f"{base.stem}.*.began"):
@@ -1147,7 +663,7 @@ class MultiprocessEngine(Engine):
             shutil.rmtree(base.parent / f"{handle.uid}-shuffle", ignore_errors=True)
 
     def _shuffle_dir(self, handle: Any) -> str:
-        assert isinstance(handle, _JobRef)
+        assert isinstance(handle, JobRef)
         path = Path(handle.path).parent / f"{handle.uid}-shuffle"
         path.mkdir(exist_ok=True)
         return str(path)
@@ -1159,77 +675,12 @@ class MultiprocessEngine(Engine):
         # A fused reduce task may also have localized the *next* job.
         self.stats.broadcast_loads += info.get("extra_loads", 0)
 
+    def _note_run(self, seconds: float) -> None:
+        self.stats.run_seconds += seconds
+
     # -- fused chaining --------------------------------------------------------
-    @staticmethod
-    def _fusable(prev: Job, nxt: Job) -> bool:
-        """True when ``nxt``'s map phase can be elided at ``prev``'s reducers.
-
-        Safe exactly when the next job's map phase is a pure identity
-        reshuffle: the default :class:`~repro.mapreduce.job.Mapper` map
-        (no subclass override, no setup/cleanup hooks) and no combiner —
-        then partitioning the upstream reduce output at source is
-        observationally identical to running the map tasks.  Either job
-        can opt out with ``config["pipeline_fusion"]=False``.  A fault
-        plan that could target the next job's (elided) map attempts also
-        blocks fusion, so injected-fault runs stay bit-identical.
-        """
-        if prev.reducer is None or nxt.reducer is None or nxt.num_reducers < 1:
-            return False
-        if nxt.combiner is not None:
-            return False
-        if not prev.config.get("pipeline_fusion", True):
-            return False
-        if not nxt.config.get("pipeline_fusion", True):
-            return False
-        mapper = nxt.mapper
-        if not (
-            isinstance(mapper, type)
-            and issubclass(mapper, Mapper)
-            and mapper.map is Mapper.map
-            and mapper.setup is Mapper.setup
-            and mapper.cleanup is Mapper.cleanup
-        ):
-            return False
-        plan = nxt.config.get("fault_plan")
-        if plan is not None:
-            if any(
-                getattr(plan, rate, 0.0)
-                for rate in ("crash_rate", "slow_rate", "kill_rate")
-            ):
-                return False
-            if any(
-                fault.task_kind in (None, "map")
-                for fault in getattr(plan, "faults", ())
-            ):
-                return False
-        return True
-
-    def _gather_fused(
-        self, reduce_outputs: list[Any], num_partitions: int, counters: Counters
-    ) -> _ShuffleState:
-        """Fold fused reduce manifests into the next stage's shuffle state."""
-        gathered: list[list] = [[] for _ in range(num_partitions)]
-        part_records = [0] * num_partitions
-        part_bytes = [0] * num_partitions
-        for fused, counter_dict, info in reduce_outputs:
-            counters.merge(Counters.from_dict(counter_dict))
-            self._note_worker(info)
-            self.stats.driver_bytes += len(
-                pickle.dumps(fused.entries, protocol=pickle.HIGHEST_PROTOCOL)
-            )
-            for partition, entry in enumerate(fused.entries):
-                if entry is not None:
-                    gathered[partition].append(entry)
-                    self.stats.spill_files_written += 1
-                    self.stats.spill_bytes_written += entry[1]
-                part_records[partition] += fused.counts[partition]
-                part_bytes[partition] += fused.sizes[partition]
-        return _ShuffleState(
-            mode="direct",
-            gathered=gathered,
-            part_records=part_records,
-            part_bytes=part_bytes,
-        )
+    #: fusability predicate, re-exposed for introspection/tests
+    _fusable = staticmethod(fusable)
 
     def run_chain(
         self,
@@ -1241,124 +692,17 @@ class MultiprocessEngine(Engine):
     ) -> list[JobResult]:
         """Run a chain, fusing adjacent stages where safe (direct mode).
 
-        When stage i's reduce feeds a stage i+1 whose map phase is
-        identity-shaped (:meth:`_fusable`), stage i's reduce tasks
-        partition their output with stage i+1's partitioner and write its
-        spill files directly — stage i+1 starts from disk, its identity
-        map phase is elided, and stage i's records never reach the
-        driver (its :class:`~repro.mapreduce.job.JobResult` has
-        ``records_elided=True`` and an empty record list).  The elided
-        map's data-plane counters (map input/output records and bytes,
-        shuffle volume) are synthesized from the manifest sums and equal
-        the unfused values exactly; only attempt bookkeeping
-        (``task_attempts``) differs, since no map attempts run.
-
-        ``fuse=None`` (the default) and ``fuse=True`` both fuse when
-        safe; ``fuse=False`` forces the plain sequential chain.  Relay
-        mode has no spill files to hand over, so it never fuses.
+        See :mod:`repro.mapreduce.fusion` for the mechanism and exact
+        counter semantics.  ``fuse=None`` (the default) and ``fuse=True``
+        both fuse when safe; ``fuse=False`` forces the plain sequential
+        chain.  Relay mode has no spill files to hand over, so it never
+        fuses.
         """
         if fuse is False or self._shuffle_mode != "direct" or len(jobs) < 2:
             return super().run_chain(
                 jobs, input_records, num_map_tasks=num_map_tasks
             )
-        jobs = list(jobs)
-        results: list[JobResult] = []
-        records: Sequence[KeyValue] = input_records
-        handles: dict[int, _JobRef] = {}
-
-        def handle_for(index: int) -> _JobRef:
-            if index not in handles:
-                handles[index] = self._job_handle(jobs[index])
-            return handles[index]
-
-        pending: _ShuffleState | None = None  # spilled at source by stage i-1
-        try:
-            for index, job in enumerate(jobs):
-                try:
-                    handle = handle_for(index)
-                    num_partitions = (
-                        job.num_reducers if job.reducer is not None else 0
-                    )
-                    counters = Counters()
-                    num_splits = 0
-                    if pending is not None:
-                        # Fused-in stage: its shuffle input is already on
-                        # disk.  Synthesize the elided identity map's
-                        # data-plane counters from the manifest sums so
-                        # fused and unfused runs report identical volumes.
-                        state = pending
-                        pending = None
-                        fed_records = sum(state.part_records)
-                        fed_bytes = sum(state.part_bytes)
-                        counters.increment(
-                            FRAMEWORK_GROUP, MAP_INPUT_RECORDS, fed_records
-                        )
-                        counters.increment(
-                            FRAMEWORK_GROUP, MAP_OUTPUT_RECORDS, fed_records
-                        )
-                        counters.increment(
-                            FRAMEWORK_GROUP, MAP_OUTPUT_BYTES, fed_bytes
-                        )
-                    else:
-                        splits = self._plan_splits(job, records, num_map_tasks)
-                        num_splits = len(splits)
-                        state = self._map_phase(
-                            job, handle, splits, num_partitions, counters
-                        )
-                    if job.reducer is None:
-                        records = [r for part in state.gathered for r in part]
-                        results.append(
-                            JobResult(records, counters, num_splits, 0)
-                        )
-                        continue
-                    counters.increment(
-                        FRAMEWORK_GROUP, SHUFFLE_RECORDS, sum(state.part_records)
-                    )
-                    counters.increment(
-                        FRAMEWORK_GROUP, SHUFFLE_BYTES, sum(state.part_bytes)
-                    )
-                    next_stage = None
-                    if index + 1 < len(jobs) and self._fusable(job, jobs[index + 1]):
-                        next_handle = handle_for(index + 1)
-                        next_stage = _NextStage(
-                            job=next_handle,
-                            num_partitions=jobs[index + 1].num_reducers,
-                            spill_dir=self._shuffle_dir(next_handle),
-                        )
-                    reduce_outputs = self._reduce_phase(
-                        job, handle, state, next_stage=next_stage
-                    )
-                    if next_stage is not None:
-                        pending = self._gather_fused(
-                            reduce_outputs, next_stage.num_partitions, counters
-                        )
-                        self.stats.fused_stages += 1
-                        results.append(
-                            JobResult(
-                                [],
-                                counters,
-                                num_splits,
-                                num_partitions,
-                                records_elided=True,
-                            )
-                        )
-                    else:
-                        records = []
-                        for output, counter_dict, info in reduce_outputs:
-                            counters.merge(Counters.from_dict(counter_dict))
-                            self._note_worker(info)
-                            records.extend(output)
-                        results.append(
-                            JobResult(records, counters, num_splits, num_partitions)
-                        )
-                except TaskFailedError as exc:
-                    exc.stage_index = index
-                    exc.job_name = job.name
-                    raise
-            return results
-        finally:
-            for handle in handles.values():
-                self._release_job(handle)
+        return run_fused_chain(self, jobs, input_records, num_map_tasks=num_map_tasks)
 
     def _teardown_pool(self, *, kill: bool = False) -> None:
         """Drop the current pool; ``kill`` terminates workers first.
@@ -1383,24 +727,25 @@ class MultiprocessEngine(Engine):
         (a) respawn a broken pool and re-run only the lost in-flight
         tasks, (b) kill attempts that hang past the task timeout, and
         (c) launch speculative backup attempts for end-of-phase
-        stragglers.  Results are keyed by task index, so output order —
-        and therefore job results — is identical to :class:`SerialEngine`
-        no matter which attempt of a task wins.
+        stragglers.  The :class:`AttemptTracker` owns attempt numbering,
+        lost-attempt charging, and speculation decisions; the
+        :class:`SchedulingPolicy` orders dispatch.  Results are keyed by
+        task index, so output order — and therefore job results — is
+        identical to :class:`SerialEngine` no matter which attempt of a
+        task wins or which order the policy dispatched.
         """
         if not specs:
             return []
-        kind = "map" if isinstance(specs[0], _MapTaskSpec) else "reduce"
+        kind = "map" if isinstance(specs[0], MapTaskSpec) else "reduce"
         timeout = job.config.get("task_timeout_seconds")
         limit = float(timeout) if timeout is not None else None
-        speculate = bool(job.config.get("speculative_execution", False))
-        multiplier = float(job.config.get("speculative_multiplier", 2.0))
-        fraction = float(job.config.get("speculative_fraction", 0.25))
 
         total = len(specs)
+        tracker = AttemptTracker(kind, total, job, bus=self._bus())
+        order = self._dispatch_order(specs)
         results: dict[int, Any] = {}
-        next_attempt = {index: 1 for index in range(total)}
-        durations: list[float] = []
         inflight: dict[Future, int] = {}
+        attempts: dict[Future, Any] = {}  # Future -> TaskAttempt
         launched_at: dict[Future, float] = {}
         started_at: dict[Future, float] = {}
         budget: dict[Future, float] = {}
@@ -1411,31 +756,38 @@ class MultiprocessEngine(Engine):
 
         def dispatch(index: int, *, speculative: bool = False) -> None:
             spec = specs[index]
-            spec.first_attempt = next_attempt[index]
+            spec.first_attempt = tracker.next_attempt[index]
             spec.speculative = speculative
             payload = pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
             self.stats.spec_bytes += len(payload)
             self.stats.tasks_dispatched += 1
-            future = self._ensure_pool().submit(_run_pickled_spec, payload)
+            future = self._ensure_pool().submit(run_pickled_spec, payload)
+            now = time.monotonic()
             inflight[future] = index
-            launched_at[future] = time.monotonic()
+            attempts[future] = tracker.begin_dispatch(
+                index, speculative=speculative, now=now
+            )
+            launched_at[future] = now
             if limit is not None:
                 # A started attempt may legitimately consume the whole
                 # remaining retry budget worker-side (each local retry gets
                 # its own post-hoc window) before the driver declares it
                 # hung; the slack absorbs dispatch/pickling overhead.
-                remaining = job.max_attempts - next_attempt[index] + 1
+                remaining = job.max_attempts - tracker.next_attempt[index] + 1
                 budget[future] = limit * remaining + max(1.0, limit)
 
         def resolve(index: int, future: Future, output: Any, now: float) -> None:
             results[index] = output
             errors.pop(index, None)
-            durations.append(now - started_at.get(future, launched_at[future]))
+            tracker.complete(
+                attempts[future], now=now, worker_pid=output[2].get("pid")
+            )
             # Any sibling attempt still out is wasted speculative work:
             # cancel it if it never started, discard its output otherwise.
             for other, other_index in list(inflight.items()):
                 if other_index == index:
                     self.stats.speculative_wasted += 1
+                    tracker.kill(attempts[other], now=now)
                     if other.cancel():
                         inflight.pop(other, None)
 
@@ -1449,36 +801,36 @@ class MultiprocessEngine(Engine):
             untouched.
             """
             self.stats.pool_restarts += 1
+            now = time.monotonic()
+            for future, attempt in attempts.items():
+                if future in inflight:
+                    tracker.kill(attempt, now=now)
             charged: set[int] = set()
             for index in range(total):
                 if index in results or index in charged:
                     continue
                 handle = specs[index].job
-                if isinstance(handle, _JobRef) and _marker_path(
-                    handle, kind, specs[index].task_index, next_attempt[index]
+                if isinstance(handle, JobRef) and marker_path(
+                    handle, kind, specs[index].task_index, tracker.next_attempt[index]
                 ).exists():
                     charged.add(index)
             for index in charged:
-                next_attempt[index] += 1
+                tracker.charge_lost(index)
             inflight.clear()
+            attempts.clear()
             launched_at.clear()
             started_at.clear()
             budget.clear()
             self._teardown_pool(kill=True)
-            for index in range(total):
+            for index in order:
                 if index in results:
                     continue
-                if next_attempt[index] > job.max_attempts:
-                    lost = TaskLostError(
-                        kind, specs[index].task_index, next_attempt[index] - 1
-                    )
-                    raise TaskFailedError(
-                        kind, job.max_attempts, lost, causes=[lost]
-                    )
+                if tracker.exhausted(index):
+                    raise tracker.lost_error(index, specs[index].task_index)
                 self.stats.tasks_relaunched += 1
                 dispatch(index)
 
-        for index in range(total):
+        for index in order:
             dispatch(index)
 
         while len(results) < total:
@@ -1491,6 +843,7 @@ class MultiprocessEngine(Engine):
             for future in list(inflight):
                 if future not in started_at and future.running():
                     started_at[future] = now
+                    tracker.mark_running(attempts[future], now=now)
             broken = False
             try:
                 for future in done:
@@ -1504,38 +857,42 @@ class MultiprocessEngine(Engine):
                     if isinstance(exc, BrokenProcessPool):
                         broken = True
                         continue
+                    tracker.fail(attempts[future], now=now)
                     errors[index] = exc
                     if active_attempts(index) == 0:
                         # No backup attempt can save this task: fail the
                         # job like the serial engine would.
                         for straggler in inflight:
                             straggler.cancel()
+                            tracker.kill(attempts[straggler], now=now)
                         raise exc
 
                 if not broken and limit is not None:
-                    hung = {
-                        inflight[future]
+                    hung_futures = {
+                        future
                         for future, begun in started_at.items()
                         if future in inflight
                         and inflight[future] not in results
                         and now - begun > budget[future]
                     }
-                    if hung:
-                        self.stats.tasks_timed_out += len(hung)
+                    if hung_futures:
+                        self.stats.tasks_timed_out += len(
+                            {inflight[future] for future in hung_futures}
+                        )
+                        for future in hung_futures:
+                            tracker.kill(attempts[future], timed_out=True, now=now)
                         restart_pool()
                         continue
 
-                if not broken and speculate and durations:
-                    remaining = total - len(results)
-                    if remaining <= max(1, math.ceil(fraction * total)):
-                        threshold = multiplier * statistics.median(durations)
-                        for future, index in list(inflight.items()):
-                            if index in results or active_attempts(index) > 1:
-                                continue
-                            begun = started_at.get(future)
-                            if begun is not None and now - begun > threshold:
-                                self.stats.speculative_launched += 1
-                                dispatch(index, speculative=True)
+                if not broken and tracker.in_speculation_window():
+                    threshold = tracker.straggler_threshold()
+                    for future, index in list(inflight.items()):
+                        if index in results or active_attempts(index) > 1:
+                            continue
+                        begun = started_at.get(future)
+                        if begun is not None and now - begun > threshold:
+                            self.stats.speculative_launched += 1
+                            dispatch(index, speculative=True)
             except BrokenProcessPool:
                 broken = True
             if broken:

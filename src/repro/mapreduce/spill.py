@@ -1,0 +1,71 @@
+"""Shuffle data-plane spill files: naming and worker-side writing.
+
+The direct (driver-bypass) shuffle moves map output through on-disk
+spill files — one NPB1-framed chunk per (task, partition) under the
+job's scratch directory — so only manifests (paths + counts) ever cross
+the driver.  Files are *attempt-scoped*: the dispatch identity (task
+index, 1-based first-attempt number, speculative flag — see
+:func:`repro.mapreduce.controlplane.attempts.attempt_tag`) is baked into
+the name, so a re-dispatch after a lost worker or a speculative backup
+can never collide with an earlier attempt's files.  Within one dispatch
+the worker writes only after its attempt loop succeeds, exactly once,
+and :func:`~repro.mapreduce.serialization.write_chunk_file` publishes by
+atomic rename — losers just leave orphans that are removed with the job.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .controlplane.attempts import attempt_tag
+from .job import KeyValue
+from .serialization import encode_records, write_chunk_file
+
+
+def spill_file_path(
+    spill_dir: str,
+    kind: str,
+    task_index: int,
+    attempt: int,
+    speculative: bool,
+    partition: int,
+) -> str:
+    """Attempt-scoped spill file name for one (task, partition) chunk.
+
+    The on-disk format — ``{kind}-{task:05d}-{tag}-p{partition:05d}.spill``
+    with the tag from :func:`attempt_tag` — is locked by a unit test;
+    scratch-directory tooling parses it.
+    """
+    tag = attempt_tag(attempt, speculative)
+    return os.path.join(
+        spill_dir, f"{kind}-{task_index:05d}-{tag}-p{partition:05d}.spill"
+    )
+
+
+def spill_partitions(
+    partitions: list[list[KeyValue]],
+    counts: list[int],
+    spill_dir: str,
+    kind: str,
+    task_index: int,
+    attempt: int,
+    speculative: bool,
+) -> list[tuple[str, int] | None]:
+    """Encode and spill one task's partitions; return the manifest entries.
+
+    Empty partitions get no file (``None`` entry).  Runs worker-side
+    *after* the attempt loop succeeded, so a failed attempt never writes;
+    the atomic publish in :func:`write_chunk_file` covers mid-write kills.
+    """
+    entries: list[tuple[str, int] | None] = []
+    for partition, part in enumerate(partitions):
+        if counts[partition]:
+            chunk = encode_records(part)
+            path = spill_file_path(
+                spill_dir, kind, task_index, attempt, speculative, partition
+            )
+            write_chunk_file(path, chunk)
+            entries.append((path, len(chunk)))
+        else:
+            entries.append(None)
+    return entries

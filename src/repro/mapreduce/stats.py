@@ -1,0 +1,76 @@
+"""Driver-side engine metrics and shuffle bookkeeping dataclasses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EngineStats:
+    """Driver-side dispatch metrics for a pooled engine.
+
+    Kept out of job counters on purpose: job results stay bit-identical
+    between engines while the perf harness still gets exact byte
+    accounting.  ``broadcast_loads`` counts one-shot job localizations
+    (at most one per worker per job); ``worker_pids`` the distinct workers
+    that executed tasks; ``run_seconds`` accumulates wall-clock over
+    ``Engine.run`` calls (the trace round-trip tests compare it to the
+    makespan of the emitted timeline).
+
+    The fault-tolerance metrics meter the driver's recovery work:
+    ``pool_restarts`` (worker pool respawned after a dead worker or hang
+    kill), ``tasks_relaunched`` (task dispatches re-issued after a pool
+    restart), ``tasks_timed_out`` (hung attempts the driver killed —
+    post-hoc attempt timeouts are job counters instead),
+    ``speculative_launched``/``speculative_wasted`` (backup attempts
+    started / attempts whose output lost the race and was discarded).
+
+    The shuffle data-plane meters quantify what the driver actually
+    touched: ``driver_bytes`` is the intermediate (map-output) bytes that
+    crossed the driver process — full encoded chunks on the relay path,
+    only pickled manifests on the direct path (final job output returned
+    to the caller is not shuffle traffic and is not counted);
+    ``spill_files_written``/``spill_bytes_written`` count the direct
+    path's on-disk spill chunks; ``fused_stages`` the reduce→map
+    short-circuits taken by fused chaining.
+    """
+
+    pools_created: int = 0
+    jobs_broadcast: int = 0
+    broadcast_bytes: int = 0
+    spec_bytes: int = 0
+    tasks_dispatched: int = 0
+    broadcast_loads: int = 0
+    worker_pids: set = field(default_factory=set)
+    pool_restarts: int = 0
+    tasks_relaunched: int = 0
+    tasks_timed_out: int = 0
+    speculative_launched: int = 0
+    speculative_wasted: int = 0
+    driver_bytes: int = 0
+    spill_files_written: int = 0
+    spill_bytes_written: int = 0
+    fused_stages: int = 0
+    run_seconds: float = 0.0
+
+    @property
+    def bytes_pickled(self) -> int:
+        """Everything the driver pickled to dispatch work (broadcast + specs)."""
+        return self.broadcast_bytes + self.spec_bytes
+
+
+@dataclass
+class ShuffleState:
+    """One job's gathered map output, ready for the reduce phase.
+
+    ``gathered[p]`` holds partition ``p``'s data in map-task order: raw
+    records (``mode="memory"``), encoded chunks (``"relay"``), or
+    ``(path, file_bytes)`` manifest entries (``"direct"``).  The
+    map-reported per-partition record/byte sums drive the shuffle
+    counters and the reduce-side spill decision in every mode.
+    """
+
+    mode: str
+    gathered: list[list]
+    part_records: list[int]
+    part_bytes: list[int]

@@ -1,0 +1,446 @@
+"""Worker-side task execution: specs, the job registry, map/reduce attempts.
+
+This is the code that runs *inside* an executor — in-process for
+:class:`~repro.mapreduce.runtime.SerialEngine`, in pool workers for
+:class:`~repro.mapreduce.runtime.MultiprocessEngine`.  The driver builds
+:class:`MapTaskSpec`/:class:`ReduceTaskSpec` objects, pickles them, and
+ships them to :func:`run_pickled_spec`; everything orchestration-side
+(dispatch, recovery, speculation) stays in the engines, everything
+decision-side (attempt numbering, retry loop) in
+:mod:`repro.mapreduce.controlplane`.
+
+**One-shot job broadcast.**  A job's static parts — mapper/reducer
+factories, config, and the distributed cache holding the dataset — are
+pickled *once per job* to a broadcast file; each pool worker loads and
+caches it on first touch (once per worker, like Hadoop's
+DistributedCache localization).  Task specs carry a tiny :class:`JobRef`
+instead of the job, which is what keeps per-task pickling proportional
+to the records alone.
+
+**Attempt semantics.**  Every execution runs under the control plane's
+:func:`~repro.mapreduce.controlplane.attempts.run_attempt_loop` —
+injected faults, the post-hoc wall-clock check, and deterministic retry
+backoff all apply per attempt.  Workers touch an *attempt-began marker*
+file at the start of every attempt so the driver can tell, after a pool
+death, which tasks actually started (charged one lost attempt) and
+which were still queued (re-dispatched free).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from .controlplane.attempts import run_attempt_loop
+from .counters import (
+    COMBINE_INPUT_RECORDS,
+    COMBINE_OUTPUT_RECORDS,
+    FRAMEWORK_GROUP,
+    MAP_INPUT_RECORDS,
+    MAP_OUTPUT_BYTES,
+    MAP_OUTPUT_RECORDS,
+    REDUCE_INPUT_GROUPS,
+    REDUCE_INPUT_RECORDS,
+    REDUCE_OUTPUT_RECORDS,
+    Counters,
+)
+from .extsort import ExternalSorter, sorted_groups
+from .faults import FaultPlan, PoisonedRecordError
+from .job import Context, Job, KeyValue
+from .serialization import decode_records, encode_records, record_size
+from .shuffle import iter_spill_records, partition_with_sizes, sort_and_group
+from .spill import spill_partitions
+
+#: Reduce partitions whose accounted byte size (per-partition sums
+#: reported by map tasks) exceeds this threshold are sorted via the
+#: external merge sort with the threshold as its memory budget, instead of
+#: an in-memory ``sorted()``.  Override per job with
+#: ``config["spill_threshold_bytes"]``.
+DEFAULT_SPILL_THRESHOLD_BYTES = 64 * 1024 * 1024
+
+#: Framework counters for the reduce-side spill path (deterministic across
+#: engines: both decide from the same per-partition sums and threshold).
+REDUCE_SPILLED_RECORDS = "reduce_spilled_records"
+REDUCE_SPILL_RUNS = "reduce_spill_runs"
+
+
+@dataclass(frozen=True)
+class JobRef:
+    """Driver-side handle to a broadcast job: workers load it lazily."""
+
+    uid: str
+    path: str
+
+
+@dataclass
+class MapTaskSpec:
+    """One map task: its record slice plus a handle to the shared job.
+
+    ``job`` is either the :class:`Job` itself (serial engine) or a
+    :class:`JobRef` pointing at the engine's broadcast file (pooled
+    engine) — the spec no longer carries the job's cache/config, which is
+    what keeps per-task pickling proportional to the records alone.
+    """
+
+    job: Any
+    records: list[KeyValue]
+    num_partitions: int
+    #: pre-encode partition chunks worker-side (pooled engine only)
+    encode: bool = False
+    #: direct shuffle: write encoded partitions as spill files under this
+    #: directory and return a manifest instead of the chunks
+    spill_dir: str | None = None
+    #: position of this task within its phase (fault plans key on it)
+    task_index: int = 0
+    #: 1-based global attempt this dispatch starts at (> 1 after the
+    #: driver lost earlier attempts to a dead/hung worker)
+    first_attempt: int = 1
+    #: True for a speculative backup dispatch of a straggling task
+    speculative: bool = False
+
+
+@dataclass(frozen=True)
+class NextStage:
+    """Fused chaining: where a reduce task spills its output for job i+1.
+
+    ``job`` is the *next* job's broadcast ref (the worker resolves it to
+    get the partitioner — and localizes its cache as a side effect);
+    ``num_partitions``/``spill_dir`` describe the next job's shuffle.
+    """
+
+    job: Any
+    num_partitions: int
+    spill_dir: str
+
+
+@dataclass
+class ReduceTaskSpec:
+    """One reduce task: its partition as records, chunks, or spill paths."""
+
+    job: Any
+    records: list[KeyValue] | None
+    chunks: list[bytes] | None
+    #: direct shuffle: this partition's spill files, in map-task order
+    #: (order fixes the arrival-order tie-break — see iter_spill_records)
+    spill_paths: list[str] | None = None
+    #: map-reported record count of the partition (REDUCE_INPUT_RECORDS;
+    #: with spill paths the records are never counted driver-side)
+    num_records: int = 0
+    #: accounted partition size (map-reported sums) driving the spill path
+    partition_bytes: int = 0
+    task_index: int = 0
+    first_attempt: int = 1
+    speculative: bool = False
+    #: when set, partition + spill this task's output for the next job
+    #: (the fused reduce→map short-circuit) instead of returning records
+    next_stage: NextStage | None = None
+
+
+@dataclass
+class FusedOutput:
+    """What a fused reduce task returns: the next job's shuffle manifest."""
+
+    #: per-partition ``(path, file_bytes)`` entry, or None when empty
+    entries: list[tuple[str, int] | None]
+    #: per-partition record counts of this task's contribution
+    counts: list[int]
+    #: per-partition accounted byte sums (record_size, not file bytes)
+    sizes: list[int]
+    #: total records this reduce task emitted (the elided map's input)
+    num_records: int
+
+
+# -- worker-side job registry -------------------------------------------------
+#: jobs this worker has loaded from broadcast files, keyed by JobRef.uid
+_WORKER_JOBS: dict[str, Job] = {}
+_WORKER_JOB_CAP = 8
+
+#: True inside pool worker processes (set by the initializer).  Injected
+#: worker-kill faults only take the process down when this is set; the
+#: serial engine degrades them to ordinary task failures.
+_IS_POOL_WORKER = False
+
+
+def worker_init() -> None:
+    """Pool initializer: start every worker with an empty job registry.
+
+    With the ``fork`` start method workers would otherwise inherit
+    whatever the driver process had resident; clearing keeps the
+    load-once-per-worker accounting honest.
+    """
+    global _IS_POOL_WORKER
+    _IS_POOL_WORKER = True
+    _WORKER_JOBS.clear()
+
+
+def resolve_job(handle: Any) -> tuple[Job, dict]:
+    """Turn a spec's job handle into the actual Job (loading at most once).
+
+    Returns ``(job, info)`` where ``info`` records the executing pid and
+    whether this call localized the broadcast (i.e. the one-shot cache
+    broadcast happened here).  The driver folds ``info`` into
+    :class:`~repro.mapreduce.runtime.EngineStats`, never into job
+    counters.
+    """
+    if isinstance(handle, Job):
+        return handle, {"pid": os.getpid(), "loaded": False}
+    job = _WORKER_JOBS.get(handle.uid)
+    if job is not None:
+        return job, {"pid": os.getpid(), "loaded": False}
+    with open(handle.path, "rb") as fh:
+        job = pickle.load(fh)
+    _WORKER_JOBS[handle.uid] = job
+    while len(_WORKER_JOBS) > _WORKER_JOB_CAP:
+        _WORKER_JOBS.pop(next(iter(_WORKER_JOBS)))
+    return job, {"pid": os.getpid(), "loaded": True}
+
+
+def marker_path(handle: JobRef, kind: str, task_index: int, attempt: int) -> Path:
+    """Attempt-began marker: proves to the driver an attempt ran at all.
+
+    Workers touch it at the start of every attempt (same directory as the
+    job broadcast).  When the pool dies, the driver charges a lost attempt
+    only to tasks whose current attempt's marker exists — queued tasks
+    that never started are re-dispatched free, exactly like Hadoop
+    re-queues (rather than fails) tasks from a lost TaskTracker.
+    """
+    base = Path(handle.path)
+    return base.parent / f"{base.stem}.{kind}.{task_index}.{attempt}.began"
+
+
+def attempt_marker(handle: Any, kind: str, task_index: int):
+    """Worker-side marker writer for pooled specs (None for in-process)."""
+    if not isinstance(handle, JobRef):
+        return None
+
+    def mark(attempt: int) -> None:
+        try:
+            marker_path(handle, kind, task_index, attempt).touch()
+        except OSError:  # pragma: no cover - marker loss only skews charging
+            pass
+
+    return mark
+
+
+def execute_map_task(spec: MapTaskSpec) -> tuple[tuple, dict, dict]:
+    """Run one map task with retries.
+
+    Returns ``((partitions, partition_records, partition_bytes),
+    counters, info)`` where ``partitions`` holds manifest entries when
+    ``spec.spill_dir`` is set (direct shuffle), encoded chunks when only
+    ``spec.encode`` is set (relay), raw record lists otherwise.
+    """
+    job, info = resolve_job(spec.job)
+    (partitions, counts, sizes), counters = run_attempt_loop(
+        "map",
+        job,
+        lambda attempt: _map_attempt(job, spec, attempt),
+        task_index=spec.task_index,
+        first_attempt=spec.first_attempt,
+        speculative=spec.speculative,
+        marker=attempt_marker(spec.job, "map", spec.task_index),
+        in_worker=_IS_POOL_WORKER,
+    )
+    if spec.spill_dir is not None:
+        partitions = spill_partitions(
+            partitions,
+            counts,
+            spec.spill_dir,
+            "map",
+            spec.task_index,
+            spec.first_attempt,
+            spec.speculative,
+        )
+    elif spec.encode:
+        partitions = [encode_records(part) for part in partitions]
+    return (partitions, counts, sizes), counters, info
+
+
+def _map_attempt(job: Job, spec: MapTaskSpec, attempt: int) -> tuple[tuple, dict]:
+    """One attempt of a map task (fresh mapper + context)."""
+    plan: FaultPlan | None = job.config.get("fault_plan")
+    counters = Counters()
+    context = Context(counters, cache=job.cache, config=job.config)
+    mapper = job.mapper()
+    mapper.setup(context)
+    for ordinal, (key, value) in enumerate(spec.records):
+        if plan is not None and plan.poisons(
+            "map", spec.task_index, attempt, ordinal, speculative=spec.speculative
+        ):
+            raise PoisonedRecordError(
+                f"poisoned record {ordinal} in map task {spec.task_index} "
+                f"(attempt {attempt})"
+            )
+        counters.increment(FRAMEWORK_GROUP, MAP_INPUT_RECORDS)
+        mapper.map(key, value, context)
+    mapper.cleanup(context)
+    output = context.drain()
+    counters.increment(FRAMEWORK_GROUP, MAP_OUTPUT_RECORDS, len(output))
+
+    if job.combiner is not None:
+        # Combined output differs from raw map output, so the raw bytes
+        # must be measured before combining; the partition pass below
+        # re-measures the (smaller) combined records for shuffle volume.
+        counters.increment(
+            FRAMEWORK_GROUP,
+            MAP_OUTPUT_BYTES,
+            sum(record_size(k, v) for k, v in output),
+        )
+        counters.increment(FRAMEWORK_GROUP, COMBINE_INPUT_RECORDS, len(output))
+        combiner = job.combiner()
+        combine_context = Context(counters, cache=job.cache, config=job.config)
+        combiner.setup(combine_context)
+        for key, values in sort_and_group(output, job.sort_key):
+            combiner.reduce(key, values, combine_context)
+        combiner.cleanup(combine_context)
+        output = combine_context.drain()
+        counters.increment(FRAMEWORK_GROUP, COMBINE_OUTPUT_RECORDS, len(output))
+
+    if spec.num_partitions == 0:  # map-only job: single pseudo-partition
+        total = sum(record_size(k, v) for k, v in output)
+        if job.combiner is None:
+            counters.increment(FRAMEWORK_GROUP, MAP_OUTPUT_BYTES, total)
+        return ([output], [len(output)], [total]), counters.as_dict()
+
+    partitions, sizes = partition_with_sizes(
+        output, spec.num_partitions, job.partitioner
+    )
+    if job.combiner is None:
+        # Without a combiner the partitioned records *are* the map output;
+        # one record_size pass serves both counters.
+        counters.increment(FRAMEWORK_GROUP, MAP_OUTPUT_BYTES, sum(sizes))
+    counts = [len(part) for part in partitions]
+    return (partitions, counts, sizes), counters.as_dict()
+
+
+def execute_reduce_task(spec: ReduceTaskSpec) -> tuple[Any, dict, dict]:
+    """Run one reduce task (with retries) over its (unsorted) partition.
+
+    Input comes from spill files (direct shuffle), driver-relayed chunks,
+    or raw records (serial).  The spill-file stream is rebuilt from disk
+    for every attempt, so an attempt that died mid-merge retries against
+    a fresh, complete read of its input.  With ``spec.next_stage`` set
+    (fused chaining) the winning attempt's output is partitioned for the
+    next job and spilled at source; a :class:`FusedOutput` manifest is
+    returned instead of the records.
+    """
+    job, info = resolve_job(spec.job)
+    if spec.spill_paths is not None:
+        paths = spec.spill_paths
+
+        def load() -> Iterable[KeyValue]:
+            return iter_spill_records(paths)
+
+    else:
+        records = (
+            [record for chunk in spec.chunks for record in decode_records(chunk)]
+            if spec.chunks is not None
+            else spec.records or []
+        )
+
+        def load() -> Iterable[KeyValue]:
+            return records
+
+    output, counters = run_attempt_loop(
+        "reduce",
+        job,
+        lambda attempt: _reduce_attempt(
+            job, load(), spec.num_records, spec.partition_bytes
+        ),
+        task_index=spec.task_index,
+        first_attempt=spec.first_attempt,
+        speculative=spec.speculative,
+        marker=attempt_marker(spec.job, "reduce", spec.task_index),
+        in_worker=_IS_POOL_WORKER,
+    )
+    if spec.next_stage is not None:
+        stage = spec.next_stage
+        next_job, next_info = resolve_job(stage.job)
+        partitions, sizes = partition_with_sizes(
+            output, stage.num_partitions, next_job.partitioner
+        )
+        counts = [len(part) for part in partitions]
+        entries = spill_partitions(
+            partitions,
+            counts,
+            stage.spill_dir,
+            "fuse",
+            spec.task_index,
+            spec.first_attempt,
+            spec.speculative,
+        )
+        if next_info["loaded"]:
+            info = {**info, "extra_loads": info.get("extra_loads", 0) + 1}
+        output = FusedOutput(
+            entries=entries, counts=counts, sizes=sizes, num_records=len(output)
+        )
+    return output, counters, info
+
+
+def _reduce_attempt(
+    job: Job, records: Iterable[KeyValue], num_records: int, partition_bytes: int
+) -> tuple[list[KeyValue], dict]:
+    """One attempt of a reduce task.
+
+    ``records`` may be a list (serial/relay) or a fresh spill-file stream
+    (direct shuffle); ``num_records`` is the map-reported partition count,
+    so the counter never requires materializing the stream.
+    """
+    counters = Counters()
+    context = Context(counters, cache=job.cache, config=job.config)
+    assert job.reducer is not None  # guarded by Job validation
+    reducer = job.reducer()
+    reducer.setup(context)
+    counters.increment(FRAMEWORK_GROUP, REDUCE_INPUT_RECORDS, num_records)
+
+    threshold = int(
+        job.config.get("spill_threshold_bytes", DEFAULT_SPILL_THRESHOLD_BYTES)
+    )
+    sorter: ExternalSorter | None = None
+    if partition_bytes > threshold:
+        # Partition beyond the spill threshold: external merge sort with
+        # the threshold as memory budget.  Deterministic and identical to
+        # the in-memory path (same ordering + stable arrival-order ties).
+        sorter = ExternalSorter(memory_budget=max(1, threshold), sort_key=job.sort_key)
+        sorter.add_all(records)
+        groups = sorted_groups(sorter)
+    else:
+        groups = sort_and_group(records, job.sort_key)
+
+    try:
+        for key, values in groups:
+            counters.increment(FRAMEWORK_GROUP, REDUCE_INPUT_GROUPS)
+            if job.value_sort_key is not None:
+                values = iter(sorted(values, key=job.value_sort_key))
+            reducer.reduce(key, values, context)
+    finally:
+        if sorter is not None:
+            counters.increment(
+                FRAMEWORK_GROUP, REDUCE_SPILLED_RECORDS, sorter.spilled_records
+            )
+            counters.increment(FRAMEWORK_GROUP, REDUCE_SPILL_RUNS, sorter.num_runs)
+            sorter.close()
+    reducer.cleanup(context)
+    output = context.drain()
+    counters.increment(FRAMEWORK_GROUP, REDUCE_OUTPUT_RECORDS, len(output))
+    return output, counters.as_dict()
+
+
+def run_spec(spec: Any) -> Any:
+    """Dispatch one spec to its executor (shared by serial and workers)."""
+    if isinstance(spec, MapTaskSpec):
+        return execute_map_task(spec)
+    return execute_reduce_task(spec)
+
+
+def run_pickled_spec(payload: bytes) -> Any:
+    """Worker entry point: specs arrive pre-pickled by the driver.
+
+    The driver pickles specs itself (instead of letting the executor do
+    it) so :class:`~repro.mapreduce.runtime.EngineStats` can meter exactly
+    what crossed the process boundary at zero extra cost.
+    """
+    return run_spec(pickle.loads(payload))

@@ -85,3 +85,59 @@ class TestExport:
     def test_gantt_contains_task_digits(self):
         trace = Trace(spans=[TaskSpan(7, 0, 0, 0.0, 5.0)])
         assert "7" in trace.gantt(width=20)
+
+
+class TestSlotInventory:
+    def test_empty_trace_roundtrip_keeps_slots(self):
+        trace = Trace(spans=[], slots=[(0, 0), (0, 1), (1, 0)])
+        restored = Trace.from_json(trace.to_json())
+        assert restored.slots == [(0, 0), (0, 1), (1, 0)]
+        assert restored.spans == []
+        assert restored.utilization() == {(0, 0): 0.0, (0, 1): 0.0, (1, 0): 0.0}
+
+    def test_single_span_roundtrip(self):
+        trace = Trace(spans=[TaskSpan(3, 1, 0, 0.0, 2.5)], slots=[(0, 0), (1, 0)])
+        restored = Trace.from_json(trace.to_json())
+        assert restored.spans == trace.spans
+        assert restored.slots == [(0, 0), (1, 0)]
+        # The idle inventoried slot shows up as zero utilization.
+        assert restored.utilization()[(0, 0)] == 0.0
+
+    def test_single_bare_span_document(self):
+        restored = Trace.from_json(
+            '{"task": 1, "node": 0, "slot": 2, "start": 0.0, "end": 1.0}'
+        )
+        assert restored.spans == [TaskSpan(1, 0, 2, 0.0, 1.0)]
+
+    def test_legacy_span_array_still_loads(self):
+        legacy = '[{"task": 1, "node": 0, "slot": 0, "start": 0.0, "end": 1.0}]'
+        restored = Trace.from_json(legacy)
+        assert restored.spans == [TaskSpan(1, 0, 0, 0.0, 1.0)]
+        assert restored.slots == [(0, 0)]
+
+    def test_jsonl_event_stream_loads(self):
+        text = "\n".join(
+            [
+                '{"type": "PhaseMarker", "time": 0.0, "job": "j", '
+                '"kind": "map", "num_tasks": 1, "state": "started"}',
+                '{"task": 0, "node": 0, "slot": 0, "start": 0.0, "end": 1.0}',
+                '{"task": 1, "node": 0, "slot": 1, "start": 0.5, "end": 2.0}',
+            ]
+        )
+        restored = Trace.from_json(text)
+        assert len(restored.spans) == 2
+        assert restored.makespan == pytest.approx(2.0)
+
+    def test_unrecognized_document_raises(self):
+        with pytest.raises(ValueError):
+            Trace.from_json('{"not": "a trace"}')
+
+    def test_slots_derived_from_spans_when_omitted(self):
+        trace = Trace(spans=[TaskSpan(1, 2, 3, 0.0, 1.0)])
+        assert trace.slots == [(2, 3)]
+
+    def test_build_trace_inventories_idle_slots(self):
+        trace = build_trace([TaskCost(0, 5.0)], cluster(2, 2))
+        assert len(trace.slots) == 4
+        util = trace.utilization()
+        assert sum(1 for value in util.values() if value == 0.0) == 3

@@ -1,0 +1,87 @@
+"""Architecture layering checks (AST-level, no imports executed).
+
+The control-plane extraction draws two hard lines:
+
+- ``repro.mapreduce.controlplane`` is the engine-agnostic layer: it must
+  not import the engines (``repro.mapreduce.runtime``), the worker-side
+  task code, or anything from ``repro.cluster`` — the simulator and the
+  engines both sit *on top of* it.
+- ``repro.cluster`` models execution abstractly: it may use the shared
+  control-plane vocabulary, but must not reach into the real execution
+  machinery (``runtime`` / ``tasks`` / ``spill`` / ``fusion``).
+
+These are enforced over the import *statements* of every module in each
+package, with relative imports resolved to absolute module paths.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: modules that constitute the real execution machinery
+ENGINE_MODULES = (
+    "repro.mapreduce.runtime",
+    "repro.mapreduce.tasks",
+    "repro.mapreduce.spill",
+    "repro.mapreduce.fusion",
+)
+
+
+def imported_modules(path: Path) -> set[str]:
+    """Absolute module names imported anywhere in ``path`` (incl. lazily)."""
+    package_parts = path.relative_to(SRC).with_suffix("").parts
+    if package_parts[-1] == "__init__":
+        package_parts = package_parts[:-1]
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    out: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            out.update(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                # Resolve "from ..x import y" against this module's package.
+                anchor = package_parts[: len(package_parts) - node.level]
+                base = ".".join(anchor + tuple(filter(None, [node.module])))
+            out.add(base)
+            out.update(f"{base}.{alias.name}" for alias in node.names)
+    return out
+
+
+def package_imports(package: str) -> dict[str, set[str]]:
+    root = SRC / Path(*package.split("."))
+    return {
+        str(path.relative_to(SRC)): imported_modules(path)
+        for path in sorted(root.rglob("*.py"))
+    }
+
+
+def violations(package: str, forbidden: tuple[str, ...]) -> list[str]:
+    found = []
+    for module, imports in package_imports(package).items():
+        for name in sorted(imports):
+            if any(name == f or name.startswith(f + ".") for f in forbidden):
+                found.append(f"{module} imports {name}")
+    return found
+
+
+class TestControlPlaneLayer:
+    def test_does_not_import_engines(self):
+        assert violations("repro.mapreduce.controlplane", ENGINE_MODULES) == []
+
+    def test_does_not_import_cluster(self):
+        assert violations("repro.mapreduce.controlplane", ("repro.cluster",)) == []
+
+
+class TestClusterLayer:
+    def test_does_not_import_engine_internals(self):
+        assert violations("repro.cluster", ENGINE_MODULES) == []
+
+
+class TestSanity:
+    def test_walker_sees_real_imports(self):
+        """The checker itself must not be vacuous."""
+        imports = package_imports("repro.cluster")["repro/cluster/scheduler.py"]
+        assert "repro.mapreduce.controlplane.policy" in imports
