@@ -121,6 +121,8 @@ def run_plane(records, *, shuffle_mode: str, fuse, repeats: int) -> dict:
         "spill_files_written": stats.spill_files_written,
         "spill_bytes_written": stats.spill_bytes_written,
         "fused_stages": stats.fused_stages,
+        "bytes_copied": stats.bytes_copied,
+        "mmap_reads": stats.mmap_reads,
         "stage1_shuffle_bytes": results[0].counters.get(
             FRAMEWORK_GROUP, SHUFFLE_BYTES
         ),
@@ -232,6 +234,7 @@ def guard_measurements() -> dict:
         "direct_driver_bytes": plane["driver_bytes"],
         "relay_driver_bytes": relay["driver_bytes"],
         "shuffle_bytes": plane["stage1_shuffle_bytes"],
+        "direct_bytes_copied": plane["bytes_copied"],
     }
 
 
@@ -252,6 +255,10 @@ def write_baseline() -> dict:
             "direct_driver_bytes": int(measured["direct_driver_bytes"] * 1.5),
             "shuffle_bytes": int(measured["shuffle_bytes"] * 1.05),
             "min_bypass_ratio": DRIVER_BYPASS_MIN_RATIO,
+            # Read-path copies on the direct plane are broadcast
+            # localizations only — spill reads are mmapped.  A jump here
+            # means someone reintroduced an eager chunk read.
+            "direct_bytes_copied": int(measured["direct_bytes_copied"] * 1.5),
         },
     }
     BASELINE_PATH.parent.mkdir(exist_ok=True)
@@ -274,6 +281,13 @@ def run_guard() -> dict:
         failures.append(
             f"shuffle_bytes {measured['shuffle_bytes']} exceeds ceiling "
             f"{ceilings['shuffle_bytes']}"
+        )
+    if measured["direct_bytes_copied"] > ceilings.get(
+        "direct_bytes_copied", float("inf")
+    ):
+        failures.append(
+            f"direct bytes_copied {measured['direct_bytes_copied']} exceeds "
+            f"ceiling {ceilings['direct_bytes_copied']}"
         )
     if bypass_ratio < ceilings["min_bypass_ratio"]:
         failures.append(

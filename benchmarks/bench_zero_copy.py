@@ -1,0 +1,227 @@
+"""P6 — zero-copy shared-memory data plane: bytes copied per pair.
+
+The cached pairwise pipeline broadcasts the whole payload store to every
+worker; on the default data plane each worker unpickles its own private
+copy per job, so the read-path copy volume scales as ``workers x jobs x
+store bytes``.  The shm plane materializes the store **once per machine**
+into a ``multiprocessing.shared_memory`` segment and workers decode it as
+read-only views — the broadcast head shrinks to a :class:`SegmentRef` and
+the ``bytes_copied`` meter collapses toward zero.
+
+This bench runs the same cached pairwise workload (dense float64 rows,
+BlockScheme) on both planes with 4 workers, checks the merged results are
+identical to the serial engine's, and quantifies:
+
+- ``EngineStats.bytes_copied`` per pair: the headline number — reduced
+  ≥10x on the shm plane (asserted in full mode);
+- ``shm_segments == 1``: one materialization per machine for the cache
+  the two jobs share (the default plane localizes it per worker per job);
+- two-plane wall-clock, reported (not asserted — the win grows with
+  worker count and payload size, and small CI boxes sit near parity).
+
+Writes ``results/zero_copy.txt`` and the repo-root ``BENCH_zero_copy.json``
+consumed by CI.
+
+Run standalone (``--quick`` for the fast, assertion-free CI variant):
+
+    PYTHONPATH=src python benchmarks/bench_zero_copy.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from harness import format_table, machine_info, write_report
+
+from repro.core.block import BlockScheme
+from repro.core.element import results_matrix
+from repro.core.pairwise import PairwiseComputation
+from repro.mapreduce import MultiprocessEngine, SerialEngine
+from repro.mapreduce.shm import shm_available
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_zero_copy.json"
+
+NUM_ELEMENTS = 96
+DIMENSIONS = 512
+GROUP_COUNT = 8
+NUM_MAP_TASKS = 8
+NUM_REDUCE_TASKS = 8
+MAX_WORKERS = 4
+REPEATS = 3
+
+QUICK_NUM_ELEMENTS = 24
+QUICK_DIMENSIONS = 64
+QUICK_GROUP_COUNT = 4
+QUICK_REPEATS = 1
+
+COPY_REDUCTION_MIN_RATIO = 10.0
+
+
+def dot(left, right):
+    return float(np.dot(left, right))
+
+
+def make_dataset(num_elements: int, dimensions: int) -> list:
+    rng = np.random.default_rng(20100621)
+    return [rng.standard_normal(dimensions) for _ in range(num_elements)]
+
+
+def run_plane(
+    dataset, *, data_plane: str, group_count: int, repeats: int
+) -> dict:
+    best = float("inf")
+    stats = None
+    merged = None
+    scheme = BlockScheme(len(dataset), group_count)
+    for _ in range(repeats):
+        with MultiprocessEngine(max_workers=MAX_WORKERS, data_plane=data_plane) as engine:
+            assert engine.data_plane == data_plane
+            computation = PairwiseComputation(
+                scheme, dot, engine=engine, num_reduce_tasks=NUM_REDUCE_TASKS
+            )
+            start = time.perf_counter()
+            merged = computation.run_cached(dataset, num_map_tasks=NUM_MAP_TASKS)
+            best = min(best, time.perf_counter() - start)
+            stats = engine.stats
+    num_pairs = len(dataset) * (len(dataset) - 1) // 2
+    return {
+        "seconds": best,
+        "bytes_copied": stats.bytes_copied,
+        "bytes_copied_per_pair": stats.bytes_copied / num_pairs,
+        "mmap_reads": stats.mmap_reads,
+        "shm_segments": stats.shm_segments,
+        "shm_bytes": stats.shm_bytes,
+        "broadcast_loads": stats.broadcast_loads,
+        "broadcast_bytes": stats.broadcast_bytes,
+        "_merged": merged,
+    }
+
+
+def run_comparison(quick: bool = False) -> dict:
+    if quick:
+        num_elements, dimensions = QUICK_NUM_ELEMENTS, QUICK_DIMENSIONS
+        group_count, repeats = QUICK_GROUP_COUNT, QUICK_REPEATS
+    else:
+        num_elements, dimensions = NUM_ELEMENTS, DIMENSIONS
+        group_count, repeats = GROUP_COUNT, REPEATS
+    dataset = make_dataset(num_elements, dimensions)
+    num_pairs = num_elements * (num_elements - 1) // 2
+
+    scheme = BlockScheme(num_elements, group_count)
+    reference = PairwiseComputation(
+        scheme, dot, engine=SerialEngine(), num_reduce_tasks=NUM_REDUCE_TASKS
+    ).run_cached(dataset, num_map_tasks=NUM_MAP_TASKS)
+
+    planes = {
+        "default": run_plane(
+            dataset, data_plane="default", group_count=group_count, repeats=repeats
+        ),
+    }
+    if shm_available():
+        planes["shm"] = run_plane(
+            dataset, data_plane="shm", group_count=group_count, repeats=repeats
+        )
+
+    # Honesty guard: every plane must reproduce the serial engine's matrix.
+    reference_matrix = results_matrix(reference)
+    for name, plane in planes.items():
+        assert results_matrix(plane.pop("_merged")) == reference_matrix, (
+            f"{name} plane diverged from the serial reference"
+        )
+    assert planes["default"]["shm_segments"] == 0
+
+    metrics = {
+        "machine": machine_info(repeats=repeats),
+        "workload": {
+            "num_elements": num_elements,
+            "dimensions": dimensions,
+            "num_pairs": num_pairs,
+            "group_count": group_count,
+            "num_map_tasks": NUM_MAP_TASKS,
+            "num_reduce_tasks": NUM_REDUCE_TASKS,
+            "max_workers": MAX_WORKERS,
+            "repeats": repeats,
+            "quick": quick,
+        },
+        "planes": planes,
+    }
+    if "shm" in planes:
+        shm, default = planes["shm"], planes["default"]
+        ratio = default["bytes_copied"] / max(1, shm["bytes_copied"])
+        metrics["copy_reduction_ratio"] = ratio
+        metrics["wallclock_ratio_default_vs_shm"] = (
+            default["seconds"] / shm["seconds"]
+        )
+        # One materialization per machine — not per worker, not per job —
+        # even though both jobs of the cached pipeline broadcast the store.
+        assert shm["shm_segments"] == 1
+        assert shm["shm_bytes"] > 0
+
+    rows = [
+        [
+            name,
+            f"{plane['seconds']:.3f}",
+            plane["bytes_copied"],
+            f"{plane['bytes_copied_per_pair']:.1f}",
+            plane["mmap_reads"],
+            plane["shm_segments"],
+        ]
+        for name, plane in planes.items()
+    ]
+    summary = (
+        f"P6 — zero-copy data plane on cached pairwise "
+        f"({num_elements} x {dimensions}-dim float64 rows, {num_pairs} pairs, "
+        f"{MAX_WORKERS} workers, best of {repeats})"
+    )
+    if "shm" in planes:
+        summary += (
+            f"; bytes copied reduced {metrics['copy_reduction_ratio']:.1f}x, "
+            f"wall-clock {metrics['wallclock_ratio_default_vs_shm']:.2f}x"
+        )
+    write_report(
+        "zero_copy",
+        summary,
+        format_table(
+            [
+                "plane",
+                "seconds",
+                "bytes copied",
+                "bytes/pair",
+                "mmap reads",
+                "shm segments",
+            ],
+            rows,
+        ),
+    )
+    JSON_PATH.write_text(json.dumps(metrics, indent=2) + "\n")
+
+    if not quick and "shm" in planes:
+        assert metrics["copy_reduction_ratio"] >= COPY_REDUCTION_MIN_RATIO, (
+            f"shm plane only cut copies {metrics['copy_reduction_ratio']:.1f}x "
+            f"({planes['shm']['bytes_copied']} vs "
+            f"{planes['default']['bytes_copied']} bytes)"
+        )
+    return metrics
+
+
+def test_zero_copy(benchmark):
+    metrics = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    if "shm" in metrics["planes"]:
+        assert metrics["copy_reduction_ratio"] >= COPY_REDUCTION_MIN_RATIO
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload, single repeat, no perf assertions (CI artifact mode)",
+    )
+    arguments = parser.parse_args()
+    print(json.dumps(run_comparison(quick=arguments.quick), indent=2))

@@ -46,7 +46,7 @@ from typing import Any, Callable, Mapping, Sequence
 from ..kernels import pair_index_array, resolve_kernel
 from ..mapreduce.job import Context, Job, Mapper, Reducer
 from ..mapreduce.pipeline import Pipeline, PipelineResult
-from ..mapreduce.runtime import Engine, SerialEngine
+from ..mapreduce.runtime import Engine, MultiprocessEngine, SerialEngine
 from ..mapreduce.serialization import record_size
 from .aggregate import Aggregator, ConcatAggregator
 from .broadcast import BroadcastScheme
@@ -344,6 +344,15 @@ class PairwiseComputation:
         :class:`~repro.mapreduce.runtime.Engine`).  Passing either
         together with an explicit ``engine`` raises — configure the
         engine directly in that case.
+    data_plane:
+        Broadcast data plane when this computation builds its own engine:
+        a non-``None`` value (``"default"`` or ``"shm"``) builds an owned
+        :class:`~repro.mapreduce.runtime.MultiprocessEngine` with that
+        plane (``"shm"`` shares the cached payload store once per machine
+        — the natural pairing with :meth:`run_cached` /
+        :meth:`run_broadcast_job`).  Raises with an explicit ``engine``,
+        like the other engine-construction knobs.  Close the owned engine
+        with :meth:`close` (the computation is a context manager).
     """
 
     def __init__(
@@ -360,6 +369,7 @@ class PairwiseComputation:
         max_attempts: int = 1,
         scheduling_policy: Any = None,
         trace_sink: Any = None,
+        data_plane: str | None = None,
     ):
         self.scheme = scheme
         self.comp = comp
@@ -367,15 +377,27 @@ class PairwiseComputation:
         self.kernel = kernel
         self.aggregator = aggregator or ConcatAggregator()
         if engine is not None and (
-            scheduling_policy is not None or trace_sink is not None
+            scheduling_policy is not None
+            or trace_sink is not None
+            or data_plane is not None
         ):
             raise ValueError(
-                "pass scheduling_policy/trace_sink to the engine itself "
-                "when supplying an explicit engine"
+                "pass scheduling_policy/trace_sink/data_plane to the engine "
+                "itself when supplying an explicit engine"
             )
-        self.engine = engine or SerialEngine(
-            scheduling_policy=scheduling_policy, trace_sink=trace_sink
-        )
+        self._owns_engine = engine is None
+        if engine is not None:
+            self.engine = engine
+        elif data_plane is not None:
+            self.engine = MultiprocessEngine(
+                data_plane=data_plane,
+                scheduling_policy=scheduling_policy,
+                trace_sink=trace_sink,
+            )
+        else:
+            self.engine = SerialEngine(
+                scheduling_policy=scheduling_policy, trace_sink=trace_sink
+            )
         if num_reduce_tasks is None:
             num_reduce_tasks = max(1, scheme.num_tasks // 8)
         if num_reduce_tasks < 1:
@@ -389,6 +411,18 @@ class PairwiseComputation:
     def _job_config(self, **app_keys: Any) -> dict[str, Any]:
         """Runtime knobs first, application keys on top (apps win)."""
         return {**self.runtime_config, **app_keys}
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        """Close the engine this computation built (noop for a supplied one)."""
+        if self._owns_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "PairwiseComputation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- input handling --------------------------------------------------------
     def _as_elements(self, dataset: Sequence[Any]) -> list[Element]:

@@ -59,6 +59,7 @@ def auto_pairwise(
     auto_engine: bool = False,
     scheduling_policy=None,
     trace_sink=None,
+    data_plane: str | None = None,
 ) -> tuple[dict[int, Element], SchemeChoice]:
     """Evaluate all pairs of ``dataset`` under an auto-chosen scheme.
 
@@ -71,17 +72,25 @@ def auto_pairwise(
     crossover :meth:`Engine.auto` uses, keyed on the chosen scheme's
     ``metrics().communication_records``; ``comp`` must then be picklable
     in case the multiprocess engine is selected.  The built engine is
-    closed before returning.  ``scheduling_policy`` / ``trace_sink`` are
-    forwarded to whichever engine this call builds (pass them on your own
-    ``engine`` instead when supplying one).
+    closed before returning.  ``scheduling_policy`` / ``trace_sink`` /
+    ``data_plane`` are forwarded to whichever engine this call builds
+    (pass them on your own ``engine`` instead when supplying one;
+    ``data_plane`` additionally requires ``auto_engine=True``, since only
+    a pooled engine has a broadcast data plane to pick).
     """
     if len(dataset) < 2:
         raise ValueError("pairwise computation needs at least two elements")
-    if engine is not None and (scheduling_policy is not None or trace_sink is not None):
+    if engine is not None and (
+        scheduling_policy is not None
+        or trace_sink is not None
+        or data_plane is not None
+    ):
         raise ValueError(
-            "pass scheduling_policy/trace_sink to the engine itself "
-            "when supplying an explicit engine"
+            "pass scheduling_policy/trace_sink/data_plane to the engine "
+            "itself when supplying an explicit engine"
         )
+    if data_plane is not None and not auto_engine:
+        raise ValueError("data_plane requires auto_engine=True or an explicit engine")
     if element_size is None:
         element_size = estimate_element_size(dataset)
     choice = choose_scheme(
@@ -99,6 +108,11 @@ def auto_pairwise(
                 dataset, comp, choice.scheme, aggregator=aggregator, engine=engine
             )
         else:
+            if data_plane is not None:
+                raise ValueError(
+                    "data_plane needs a pooled engine; hierarchical schedules "
+                    "without an explicit engine run in-process"
+                )
             merged = run_rounds(dataset, comp, choice.scheme, aggregator=aggregator)
     else:
         owned_engine = None
@@ -109,6 +123,7 @@ def auto_pairwise(
                 choice.scheme.metrics().communication_records,
                 scheduling_policy=scheduling_policy,
                 trace_sink=trace_sink,
+                data_plane=data_plane,
             )
             scheduling_policy = trace_sink = None
         try:

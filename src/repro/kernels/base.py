@@ -82,6 +82,13 @@ class PairKernel(abc.ABC):
         results, aligned with the rows.  ``payloads`` may contain more
         ids than the pairs reference (the cached reducer hands the whole
         store); kernels must only touch referenced ids.
+
+        Payload arrays may be **read-only zero-copy views** over a shared
+        data plane (a shared-memory segment or an mmapped spill file —
+        see :mod:`repro.mapreduce.shm`): kernels must never write to a
+        payload buffer, and their ingest conversions must pass matching
+        dtypes through as views (``np.asarray`` on a float64 row shares
+        memory) rather than forcing private copies.
         """
 
     def describe(self) -> str:

@@ -43,7 +43,14 @@ class _DenseVectorKernel(PairKernel):
     def _gather(
         self, payloads: Mapping[int, Any], pairs: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Left/right row matrices for the pair block (one stack per call)."""
+        """Left/right row matrices for the pair block (one stack per call).
+
+        ``np.asarray(..., dtype=float)`` on a float64 payload row is a
+        zero-copy pass-through — rows living in a shared-memory segment
+        or an mmapped spill file are read (never copied) straight from
+        the shared buffer; the stack into the ``(k, m)`` working matrix
+        is the block's single gather copy.
+        """
         ids = np.unique(pairs)
         matrix = np.stack(
             [np.asarray(payloads[int(eid)], dtype=float) for eid in ids]

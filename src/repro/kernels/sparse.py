@@ -116,10 +116,13 @@ class CsrCosineKernel(PairKernel):
                 range(sum(lengths)),
             )
         )
-        indptr = np.zeros(len(vectors) + 1, dtype=np.int64)
+        # int32 indices whenever they fit: scipy's csr_matrix(copy=False)
+        # keeps them as-is, where int64 would be downcast-copied.
+        index_dtype = np.int32 if sum(lengths) < 2**31 else np.int64
+        indptr = np.zeros(len(vectors) + 1, dtype=index_dtype)
         np.cumsum(lengths, out=indptr[1:])
         nnz = int(indptr[-1])
-        cols = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=index_dtype)
         data = np.empty(nnz, dtype=np.float64)
         position = 0
         for vector, length in zip(vectors, lengths):

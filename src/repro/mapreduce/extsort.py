@@ -28,7 +28,7 @@ from itertools import groupby
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
-from .serialization import decode_records, encode_records, record_size
+from .serialization import decode_records, encode_records, read_chunk_view, record_size
 from .shuffle import stable_hash
 
 KeyValue = tuple[Any, Any]
@@ -114,13 +114,16 @@ class ExternalSorter:
 
     @staticmethod
     def _read_run(path: Path) -> Iterator[KeyValue]:
-        with path.open("rb") as handle:
-            while True:
-                header = handle.read(8)
-                if not header:
-                    return
-                (length,) = struct.unpack("<Q", header)
-                yield from decode_records(handle.read(length))
+        # One mmap per run; each framed chunk decodes from a slice of the
+        # mapping, so merge-time memory stays one chunk of *records* per
+        # run and the raw bytes are never copied out of the page cache.
+        view = read_chunk_view(path)
+        offset, end = 0, view.nbytes
+        while offset < end:
+            (length,) = struct.unpack_from("<Q", view, offset)
+            offset += 8
+            yield from decode_records(view[offset : offset + length])
+            offset += length
 
     # -- output ---------------------------------------------------------------
     @property

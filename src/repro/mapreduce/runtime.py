@@ -49,6 +49,7 @@ job counters so serial and pooled runs stay bit-identical.
 
 from __future__ import annotations
 
+import dataclasses
 import pickle
 import shutil
 import tempfile
@@ -88,6 +89,7 @@ from .counters import (
 )
 from .fusion import fusable, run_fused_chain
 from .job import Job, JobResult, KeyValue, TaskFailedError
+from .shm import SegmentHost, shm_available
 from .splits import Split, split_by_count
 from .stats import EngineStats, ShuffleState
 from .tasks import (  # noqa: F401  (re-exports)
@@ -125,6 +127,13 @@ _POLL_SECONDS = 0.05
 
 #: shuffle data planes a :class:`MultiprocessEngine` supports
 SHUFFLE_MODES = ("direct", "relay")
+
+#: broadcast data planes a :class:`MultiprocessEngine` supports:
+#: ``"default"`` ships the distributed cache inside the per-job broadcast
+#: pickle (each worker unpickles its own copy); ``"shm"`` materializes it
+#: once per machine in POSIX shared memory and workers attach read-only
+#: zero-copy views (see :mod:`repro.mapreduce.shm`).
+DATA_PLANES = ("default", "shm")
 
 # Legacy private aliases from before the split into repro.mapreduce.tasks.
 _JobRef = JobRef
@@ -456,10 +465,14 @@ class Engine:
         *,
         max_workers: int | None = None,
         serial_below: int = AUTO_SERIAL_MAX_RECORDS,
+        data_plane: str | None = None,
     ) -> "Engine":
         """Pick an engine from a workload-size hint — see :func:`choose_engine`."""
         return choose_engine(
-            workload_hint, max_workers=max_workers, serial_below=serial_below
+            workload_hint,
+            max_workers=max_workers,
+            serial_below=serial_below,
+            data_plane=data_plane,
         )
 
     def close(self) -> None:
@@ -532,6 +545,7 @@ def choose_engine(
     serial_below: int = AUTO_SERIAL_MAX_RECORDS,
     scheduling_policy: SchedulingPolicy | str | None = None,
     trace_sink: Any = None,
+    data_plane: str | None = None,
 ) -> Engine:
     """Pick an engine from a workload-size hint (records through the run).
 
@@ -546,7 +560,9 @@ def choose_engine(
     job broadcasts dominate; at or above it, a
     :class:`MultiprocessEngine` with ``max_workers``.  ``None`` (unknown
     workload) conservatively picks serial.  ``scheduling_policy`` and
-    ``trace_sink`` are passed through to whichever engine is built.
+    ``trace_sink`` are passed through to whichever engine is built;
+    ``data_plane`` only to a pooled engine (the serial engine runs
+    in-process, where the cache is already shared by definition).
     """
     if workload_hint is not None and workload_hint < 0:
         raise ValueError(f"workload_hint must be >= 0, got {workload_hint}")
@@ -556,16 +572,24 @@ def choose_engine(
         )
     return MultiprocessEngine(
         max_workers=max_workers,
+        data_plane=data_plane or "default",
         scheduling_policy=scheduling_policy,
         trace_sink=trace_sink,
     )
 
 
 def _dispose(resources: dict) -> None:
-    """Shut down a pooled engine's externals (idempotent; GC-safe)."""
+    """Shut down a pooled engine's externals (idempotent; GC-safe).
+
+    Order matters: workers go first so nothing is attached to a shared
+    segment when the host unlinks it.
+    """
     pool = resources.pop("pool", None)
     if pool is not None:
         pool.shutdown(wait=True, cancel_futures=True)
+    segments = resources.pop("segments", None)
+    if segments is not None:
+        segments.close()
     tmpdir = resources.pop("tmpdir", None)
     if tmpdir is not None:
         tmpdir.cleanup()
@@ -585,9 +609,16 @@ class MultiprocessEngine(Engine):
     through attempt-scoped spill files and only manifests cross the
     driver; ``"relay"`` is the legacy plane where the driver gathers and
     forwards encoded chunks.  Outputs and job counters are bit-identical
-    either way.  ``scheduling_policy`` orders dispatch within each phase
-    (fifo by default); ``trace_sink`` receives the run's structured
-    events (see :class:`Engine`).
+    either way.  ``data_plane`` picks the broadcast data plane:
+    ``"default"`` ships the distributed cache inside every job broadcast
+    (each worker unpickles its own copy), ``"shm"`` materializes it once
+    per machine in POSIX shared memory (workers attach read-only
+    zero-copy views — see :mod:`repro.mapreduce.shm`); where shared
+    memory is unavailable the engine silently downgrades to ``"default"``
+    (check :attr:`data_plane` after construction).  Outputs are
+    bit-identical across data planes too.  ``scheduling_policy`` orders
+    dispatch within each phase (fifo by default); ``trace_sink`` receives
+    the run's structured events (see :class:`Engine`).
     """
 
     def __init__(
@@ -595,6 +626,7 @@ class MultiprocessEngine(Engine):
         max_workers: int | None = None,
         *,
         shuffle_mode: str = "direct",
+        data_plane: str = "default",
         scheduling_policy: SchedulingPolicy | str | None = None,
         trace_sink: Any = None,
     ):
@@ -604,9 +636,16 @@ class MultiprocessEngine(Engine):
             raise ValueError(
                 f"shuffle_mode must be one of {SHUFFLE_MODES}, got {shuffle_mode!r}"
             )
+        if data_plane not in DATA_PLANES:
+            raise ValueError(
+                f"data_plane must be one of {DATA_PLANES}, got {data_plane!r}"
+            )
         super().__init__(scheduling_policy=scheduling_policy, trace_sink=trace_sink)
         self.max_workers = max_workers
         self._shuffle_mode = shuffle_mode
+        if data_plane == "shm" and not shm_available():
+            data_plane = "default"  # no POSIX shm here: degrade, don't fail
+        self._data_plane = data_plane
         self.stats = EngineStats()
         self._job_seq = 0
         self._resources: dict = {}
@@ -616,6 +655,16 @@ class MultiprocessEngine(Engine):
     def shuffle_mode(self) -> str:
         """The engine's shuffle data plane (``"direct"`` or ``"relay"``)."""
         return self._shuffle_mode
+
+    @property
+    def data_plane(self) -> str:
+        """The engine's broadcast data plane (``"default"`` or ``"shm"``).
+
+        Reflects the *effective* plane: an engine built with
+        ``data_plane="shm"`` on a box without working POSIX shared memory
+        reports ``"default"`` here.
+        """
+        return self._data_plane
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
@@ -640,20 +689,49 @@ class MultiprocessEngine(Engine):
             self._resources["tmpdir"] = tmpdir
         return Path(tmpdir.name)
 
+    def _segment_host(self) -> SegmentHost:
+        host = self._resources.get("segments")
+        if host is None:
+            host = SegmentHost()
+            self._resources["segments"] = host
+        return host
+
     # -- engine hooks ----------------------------------------------------------
     def _job_handle(self, job: Job) -> JobRef:
-        """Broadcast the job's static parts once; tasks carry a tiny ref."""
+        """Broadcast the job's static parts once; tasks carry a tiny ref.
+
+        On the shm plane a job with a distributed cache is split: the
+        cache goes to a per-machine shared segment (one per distinct
+        cache object — jobs sharing a cache dict share the segment) and
+        the broadcast pickle ships only the cache-less head plus the
+        :class:`~repro.mapreduce.shm.SegmentRef`.  If materialization
+        fails (e.g. ``/dev/shm`` filled up mid-run) the job falls back to
+        the default plane on its own.
+        """
         self._job_seq += 1
         uid = f"job-{self._job_seq}"
+        cache_ref = None
+        if self._data_plane == "shm" and job.cache:
+            try:
+                cache_ref, created = self._segment_host().materialize(uid, job.cache)
+            except OSError:
+                cache_ref = None
+            else:
+                if created:
+                    self.stats.shm_segments += 1
+                    self.stats.shm_bytes += created
+                job = dataclasses.replace(job, cache={})
         path = self._broadcast_dir() / f"{uid}.pkl"
         data = pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)
         path.write_bytes(data)
         self.stats.jobs_broadcast += 1
         self.stats.broadcast_bytes += len(data)
-        return JobRef(uid=uid, path=str(path))
+        return JobRef(uid=uid, path=str(path), cache_ref=cache_ref)
 
     def _release_job(self, handle: Any) -> None:
         if isinstance(handle, JobRef):
+            if handle.cache_ref is not None:
+                self._segment_host().release(handle.uid)
             base = Path(handle.path)
             base.unlink(missing_ok=True)
             for marker in base.parent.glob(f"{base.stem}.*.began"):
@@ -674,6 +752,8 @@ class MultiprocessEngine(Engine):
             self.stats.broadcast_loads += 1
         # A fused reduce task may also have localized the *next* job.
         self.stats.broadcast_loads += info.get("extra_loads", 0)
+        self.stats.mmap_reads += info.get("mmap_reads", 0)
+        self.stats.bytes_copied += info.get("bytes_copied", 0)
 
     def _note_run(self, seconds: float) -> None:
         self.stats.run_seconds += seconds
@@ -822,6 +902,13 @@ class MultiprocessEngine(Engine):
             started_at.clear()
             budget.clear()
             self._teardown_pool(kill=True)
+            host = self._resources.get("segments")
+            if host is not None:
+                # A crashed worker's resource tracker may have swept
+                # segments it attached; rebuild them under their original
+                # names so already-pickled refs in re-dispatched specs
+                # keep resolving.
+                self.stats.shm_segments_revived += host.revive()
             for index in order:
                 if index in results:
                     continue

@@ -20,10 +20,22 @@ arrays are therefore *read-only* views over the chunk (mappers/reducers
 treat payloads as immutable, matching the MR contract).  Chunks without
 ndarray payloads keep the plain-pickle wire format, so the two layouts
 coexist and are distinguished by the leading magic bytes.
+
+**Zero-copy chunk reads.**  Both decode entry points accept ``bytes`` or
+any buffer (``memoryview``), so callers never need an intermediate
+``bytes`` copy of a chunk that already lives somewhere — an ``mmap``'d
+spill file (:func:`read_chunk_view`) or a shared-memory segment
+(:mod:`repro.mapreduce.shm`).  The process-local :data:`io_meter` counts
+what the read path actually did: ``mmap_reads`` for views served without
+copying, ``bytes_copied`` for payload bytes slurped into process-private
+buffers (eager file reads, broadcast localizations, relayed chunks).
+Task executors snapshot it around each task so the driver can aggregate
+per-engine totals without touching job counters.
 """
 
 from __future__ import annotations
 
+import mmap
 import os
 import pickle
 import struct
@@ -41,6 +53,38 @@ _BUFFER_MAGIC = b"NPB1"
 #: accounting overhead per ndarray on top of its raw data buffer
 #: (dtype/shape/strides metadata in the pickle head)
 _NDARRAY_OVERHEAD = 128
+
+
+@dataclass
+class IoMeter:
+    """Process-local tally of how data-plane bytes entered this process.
+
+    ``mmap_reads`` counts chunk reads served as zero-copy views over an
+    ``mmap`` (or other pre-existing buffer); ``bytes_copied`` counts
+    payload bytes materialized into process-private memory on the read
+    path — eager whole-file reads, broadcast-cache localizations,
+    driver-relayed chunks.  Decoding object *heads* (pickle metadata) is
+    not counted; the meter answers "how many payload bytes were copied",
+    the quantity the zero-copy data plane drives toward zero.
+
+    Workers snapshot the meter around each task and report the delta in
+    their task info, which the driver folds into
+    :class:`~repro.mapreduce.stats.EngineStats`.
+    """
+
+    mmap_reads: int = 0
+    bytes_copied: int = 0
+
+    def snapshot(self) -> tuple[int, int]:
+        return (self.mmap_reads, self.bytes_copied)
+
+    def since(self, snapshot: tuple[int, int]) -> tuple[int, int]:
+        """(mmap_reads, bytes_copied) accumulated since ``snapshot``."""
+        return (self.mmap_reads - snapshot[0], self.bytes_copied - snapshot[1])
+
+
+#: the process-wide meter (one per worker process; single-threaded tasks)
+io_meter = IoMeter()
 
 
 @dataclass(frozen=True)
@@ -159,11 +203,16 @@ def record_size(key: Any, value: Any) -> int:
 
 
 class Codec(Protocol):
-    """Encode/decode records crossing process boundaries."""
+    """Encode/decode records crossing process boundaries.
+
+    ``decode`` accepts ``bytes`` or any readable buffer (``memoryview``)
+    so chunks can be decoded straight out of mapped spill files and
+    shared-memory segments without an intermediate copy.
+    """
 
     def encode(self, obj: Any) -> bytes: ...
 
-    def decode(self, data: bytes) -> Any: ...
+    def decode(self, data: bytes | memoryview) -> Any: ...
 
 
 class PickleCodec:
@@ -172,7 +221,7 @@ class PickleCodec:
     def encode(self, obj: Any) -> bytes:
         return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
 
-    def decode(self, data: bytes) -> Any:
+    def decode(self, data: bytes | memoryview) -> Any:
         return pickle.loads(data)
 
 
@@ -230,7 +279,7 @@ class NumpyBufferCodec:
     def encode(self, obj: Any) -> bytes:
         return _encode_with_buffers(obj)
 
-    def decode(self, data: bytes) -> Any:
+    def decode(self, data: bytes | memoryview) -> Any:
         return _decode_with_buffers(data)
 
 
@@ -246,8 +295,13 @@ def encode_records(records: list[tuple[Any, Any]]) -> bytes:
     return _encode_with_buffers(records)
 
 
-def decode_records(data: bytes) -> list[tuple[Any, Any]]:
-    """Decode a partition chunk produced by :func:`encode_records`."""
+def decode_records(data: bytes | memoryview) -> list[tuple[Any, Any]]:
+    """Decode a partition chunk produced by :func:`encode_records`.
+
+    Accepts the wire ``bytes`` or a view over them (an ``mmap``'d spill
+    file, a shared-memory segment); framed ndarray payloads come back as
+    zero-copy views over whatever buffer ``data`` wraps.
+    """
     return _decode_with_buffers(data)
 
 
@@ -268,6 +322,32 @@ def write_chunk_file(path: str | Path, data: bytes) -> None:
 
 
 def read_chunk_file(path: str | Path) -> bytes:
-    """Read one chunk written by :func:`write_chunk_file`."""
+    """Read one chunk written by :func:`write_chunk_file` (eager copy).
+
+    Prefer :func:`read_chunk_view` on the data plane — this variant
+    materializes the whole chunk as ``bytes`` and meters the copy.
+    """
     with open(path, "rb") as handle:
-        return handle.read()
+        data = handle.read()
+    io_meter.bytes_copied += len(data)
+    return data
+
+
+def read_chunk_view(path: str | Path) -> memoryview:
+    """Zero-copy view of a chunk file, backed by a private ``mmap``.
+
+    The mapping stays alive for as long as the returned view (or any
+    record decoded out of it) is referenced; unlinking the file under a
+    live mapping is safe on POSIX, so spill-directory cleanup never has
+    to wait for readers.  Falls back to an eager (metered) read where the
+    file cannot be mapped — empty files, filesystems without mmap.
+    """
+    with open(path, "rb") as handle:
+        try:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):  # empty file or unmappable fs
+            data = handle.read()
+            io_meter.bytes_copied += len(data)
+            return memoryview(data)
+    io_meter.mmap_reads += 1
+    return memoryview(mapped)

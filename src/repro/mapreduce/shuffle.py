@@ -15,7 +15,7 @@ import pickle
 from itertools import groupby
 from typing import Any, Callable, Iterable, Iterator
 
-from .serialization import decode_records, read_chunk_file, record_size
+from .serialization import decode_records, read_chunk_view, record_size
 
 KeyValue = tuple[Any, Any]
 
@@ -29,10 +29,12 @@ def iter_spill_records(paths: Iterable[str]) -> Iterator[KeyValue]:
     reproduces the relay path's arrival order exactly, so the stable sort
     downstream breaks key ties identically and outputs stay bit-identical
     across shuffle planes.  Each call starts a fresh stream, which is what
-    lets a retried reduce attempt re-read its input from scratch.
+    lets a retried reduce attempt re-read its input from scratch.  Files
+    are mmap-mapped, not slurped: ndarray payloads decode as read-only
+    views over the page cache with no intermediate ``bytes`` copy.
     """
     for path in paths:
-        yield from decode_records(read_chunk_file(path))
+        yield from decode_records(read_chunk_view(path))
 
 
 def stable_hash(key: Any) -> int:

@@ -33,6 +33,19 @@ class EngineStats:
     ``spill_files_written``/``spill_bytes_written`` count the direct
     path's on-disk spill chunks; ``fused_stages`` the reduce→map
     short-circuits taken by fused chaining.
+
+    The zero-copy meters quantify the ``data_plane="shm"`` payoff:
+    ``shm_segments``/``shm_bytes`` count the shared-memory segments the
+    driver materialized and their payload bytes (one per distinct cache
+    object per machine — jobs sharing a cache share a segment);
+    ``shm_segments_revived`` segments rebuilt after a pool crash.
+    ``mmap_reads`` and ``bytes_copied`` aggregate the workers'
+    :data:`~repro.mapreduce.serialization.io_meter` deltas: chunk files
+    mapped instead of slurped, and payload bytes that *were* copied into
+    private process memory on the read path (eager file reads, broadcast
+    localizations, driver-relayed chunks — shm attaches and mmap reads
+    count zero).  ``bytes_copied`` per pair is the benchmark's headline
+    number and the counter-ceiling guard watches it for regressions.
     """
 
     pools_created: int = 0
@@ -51,6 +64,11 @@ class EngineStats:
     spill_files_written: int = 0
     spill_bytes_written: int = 0
     fused_stages: int = 0
+    shm_segments: int = 0
+    shm_bytes: int = 0
+    shm_segments_revived: int = 0
+    mmap_reads: int = 0
+    bytes_copied: int = 0
     run_seconds: float = 0.0
 
     @property

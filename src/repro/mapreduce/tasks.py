@@ -50,7 +50,8 @@ from .counters import (
 from .extsort import ExternalSorter, sorted_groups
 from .faults import FaultPlan, PoisonedRecordError
 from .job import Context, Job, KeyValue
-from .serialization import decode_records, encode_records, record_size
+from .serialization import decode_records, encode_records, io_meter, record_size
+from .shm import attach_object
 from .shuffle import iter_spill_records, partition_with_sizes, sort_and_group
 from .spill import spill_partitions
 
@@ -73,6 +74,10 @@ class JobRef:
 
     uid: str
     path: str
+    #: shm data plane: the job's distributed cache lives in this shared
+    #: segment (a :class:`~repro.mapreduce.shm.SegmentRef`) instead of the
+    #: broadcast pickle; ``None`` on the default plane
+    cache_ref: Any | None = None
 
 
 @dataclass
@@ -184,6 +189,12 @@ def resolve_job(handle: Any) -> tuple[Job, dict]:
     broadcast happened here).  The driver folds ``info`` into
     :class:`~repro.mapreduce.runtime.EngineStats`, never into job
     counters.
+
+    On the shm data plane the ref carries a ``cache_ref`` and the
+    broadcast pickle ships *without* the cache; the cache is attached
+    from the shared segment here — its ndarray payloads come back as
+    read-only views over the one per-machine copy, so only the (small)
+    broadcast head counts as copied bytes.
     """
     if isinstance(handle, Job):
         return handle, {"pid": os.getpid(), "loaded": False}
@@ -191,11 +202,27 @@ def resolve_job(handle: Any) -> tuple[Job, dict]:
     if job is not None:
         return job, {"pid": os.getpid(), "loaded": False}
     with open(handle.path, "rb") as fh:
-        job = pickle.load(fh)
+        data = fh.read()
+    io_meter.bytes_copied += len(data)
+    job = pickle.loads(data)
+    if handle.cache_ref is not None:
+        job.cache = attach_object(handle.cache_ref)
     _WORKER_JOBS[handle.uid] = job
     while len(_WORKER_JOBS) > _WORKER_JOB_CAP:
         _WORKER_JOBS.pop(next(iter(_WORKER_JOBS)))
     return job, {"pid": os.getpid(), "loaded": True}
+
+
+def _with_io_delta(info: dict, mark: tuple[int, int]) -> dict:
+    """Fold this task's io-meter delta into its worker info dict.
+
+    The driver sums the deltas into :class:`EngineStats` (``mmap_reads``,
+    ``bytes_copied``); per-task deltas rather than absolute meter values
+    so retried/speculative dispatches and long-lived workers never
+    double-count.
+    """
+    mmap_reads, bytes_copied = io_meter.since(mark)
+    return {**info, "mmap_reads": mmap_reads, "bytes_copied": bytes_copied}
 
 
 def marker_path(handle: JobRef, kind: str, task_index: int, attempt: int) -> Path:
@@ -233,6 +260,7 @@ def execute_map_task(spec: MapTaskSpec) -> tuple[tuple, dict, dict]:
     ``spec.spill_dir`` is set (direct shuffle), encoded chunks when only
     ``spec.encode`` is set (relay), raw record lists otherwise.
     """
+    mark = io_meter.snapshot()
     job, info = resolve_job(spec.job)
     (partitions, counts, sizes), counters = run_attempt_loop(
         "map",
@@ -256,7 +284,7 @@ def execute_map_task(spec: MapTaskSpec) -> tuple[tuple, dict, dict]:
         )
     elif spec.encode:
         partitions = [encode_records(part) for part in partitions]
-    return (partitions, counts, sizes), counters, info
+    return (partitions, counts, sizes), counters, _with_io_delta(info, mark)
 
 
 def _map_attempt(job: Job, spec: MapTaskSpec, attempt: int) -> tuple[tuple, dict]:
@@ -327,6 +355,7 @@ def execute_reduce_task(spec: ReduceTaskSpec) -> tuple[Any, dict, dict]:
     next job and spilled at source; a :class:`FusedOutput` manifest is
     returned instead of the records.
     """
+    mark = io_meter.snapshot()
     job, info = resolve_job(spec.job)
     if spec.spill_paths is not None:
         paths = spec.spill_paths
@@ -335,6 +364,10 @@ def execute_reduce_task(spec: ReduceTaskSpec) -> tuple[Any, dict, dict]:
             return iter_spill_records(paths)
 
     else:
+        if spec.chunks is not None:
+            # Relayed chunks crossed the driver and arrived as private
+            # bytes inside this spec's pickle — copied by definition.
+            io_meter.bytes_copied += sum(len(chunk) for chunk in spec.chunks)
         records = (
             [record for chunk in spec.chunks for record in decode_records(chunk)]
             if spec.chunks is not None
@@ -377,7 +410,7 @@ def execute_reduce_task(spec: ReduceTaskSpec) -> tuple[Any, dict, dict]:
         output = FusedOutput(
             entries=entries, counts=counts, sizes=sizes, num_records=len(output)
         )
-    return output, counters, info
+    return output, counters, _with_io_delta(info, mark)
 
 
 def _reduce_attempt(
