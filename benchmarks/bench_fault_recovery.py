@@ -14,18 +14,31 @@ and reports:
 - an honesty guard: every faulty run must produce the bit-identical
   pair matrix of a fault-free ``SerialEngine`` reference.
 
+``--driver-kill`` runs the journal PR's headline scenario instead:
+SIGKILL a real journaled driver subprocess after 25/50/75% of its map
+results are durable, resume from the journal in-process, and report the
+fraction of map work salvaged (never re-run) at each kill point — with
+the same bit-identical honesty guard against an uninterrupted run.
+
 Writes ``results/fault_recovery.txt`` and the repo-root
-``BENCH_fault_recovery.json`` consumed by CI.
+``BENCH_fault_recovery.json`` consumed by CI (``--driver-kill`` merges a
+``driver_kill`` section into the same JSON).
 
 Run standalone (``--quick`` for the fast CI variant):
 
-    PYTHONPATH=src python benchmarks/bench_fault_recovery.py [--quick]
+    PYTHONPATH=src python benchmarks/bench_fault_recovery.py [--quick|--driver-kill]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -223,6 +236,153 @@ def run_comparison(quick: bool = False) -> dict:
     return metrics
 
 
+# ---------------------------------------------------------------------------
+# Driver-kill recovery scenario (journal PR).
+# ---------------------------------------------------------------------------
+
+KILL_FRACTIONS = (0.25, 0.5, 0.75)
+DRIVER_KILL_PACE = 0.5
+QUICK_DRIVER_KILL_PACE = 0.3
+
+
+def _kill_driver_at(journal_dir: Path, target_map_results: int, pace: float):
+    """Launch a journaled driver subprocess; SIGKILL it once the journal
+    holds ``target_map_results`` durable map results."""
+    from repro.mapreduce.journal import JOURNAL_NAME, read_journal
+
+    bench_dir = Path(__file__).resolve().parent
+    child = subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            "import sys; import driver_kill_workload as w; w.main(sys.argv[1:])",
+            str(journal_dir),
+            str(pace),
+        ],
+        cwd=bench_dir,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        journal_path = journal_dir / JOURNAL_NAME
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if child.poll() is not None:
+                raise RuntimeError("driver finished before the kill point")
+            done = 0
+            if journal_path.exists():
+                done = sum(
+                    1
+                    for record in read_journal(journal_path)
+                    if record["type"] == "map_result"
+                )
+            if done >= target_map_results:
+                break
+            time.sleep(0.02)
+        else:
+            raise RuntimeError("driver never reached the kill point")
+        os.kill(child.pid, signal.SIGKILL)
+        child.wait(timeout=30)
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait()
+
+
+def run_driver_kill(quick: bool = False) -> dict:
+    """SIGKILL a journaled driver at each kill fraction, resume, report."""
+    import driver_kill_workload as workload  # benchmarks/ is on sys.path
+
+    from repro.mapreduce import resume_job
+
+    pace = QUICK_DRIVER_KILL_PACE if quick else DRIVER_KILL_PACE
+    reference = SerialEngine().run(
+        workload.make_job(),
+        workload.make_records(),
+        num_map_tasks=workload.NUM_MAP_TASKS,
+    )
+
+    scenarios = []
+    for fraction in KILL_FRACTIONS:
+        target = max(1, int(workload.NUM_MAP_TASKS * fraction))
+        scratch = Path(tempfile.mkdtemp(prefix="repro-driver-kill-"))
+        try:
+            journal_dir = scratch / "journal"
+            _kill_driver_at(journal_dir, target, pace)
+            start = time.perf_counter()
+            outcome = resume_job(journal_dir, max_workers=MAX_WORKERS)
+            resume_seconds = time.perf_counter() - start
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+        assert sorted(outcome.result.records) == sorted(reference.records), (
+            f"resume after kill at {fraction:.0%} diverged from the "
+            "uninterrupted reference"
+        )
+        counters = outcome.result.counters.as_dict()
+        assert counters == reference.counters.as_dict(), (
+            f"resume after kill at {fraction:.0%} drifted job counters"
+        )
+        assert outcome.tasks_resumed >= 1, "no map work salvaged"
+        scenarios.append(
+            {
+                "kill_after_fraction": fraction,
+                "killed_after_map_results": target,
+                "tasks_resumed": outcome.tasks_resumed,
+                "tasks_replayed": outcome.tasks_replayed,
+                "salvaged_fraction": outcome.tasks_resumed
+                / workload.NUM_MAP_TASKS,
+                "resume_seconds": resume_seconds,
+            }
+        )
+
+    metrics = {
+        "machine": machine_info(repeats=1),
+        "workload": {
+            "num_records": workload.NUM_RECORDS,
+            "num_map_tasks": workload.NUM_MAP_TASKS,
+            "num_reducers": workload.NUM_REDUCERS,
+            "seconds_per_map_task": pace,
+            "max_workers": MAX_WORKERS,
+            "quick": quick,
+        },
+        "scenarios": scenarios,
+    }
+
+    rows = [
+        [
+            f"{run['kill_after_fraction']:.0%}",
+            run["killed_after_map_results"],
+            run["tasks_resumed"],
+            run["tasks_replayed"],
+            f"{run['salvaged_fraction']:.0%}",
+            f"{run['resume_seconds']:.3f}",
+        ]
+        for run in scenarios
+    ]
+    write_report(
+        "fault_recovery_driver_kill",
+        f"P7 — driver-kill resume (journaled, {workload.NUM_MAP_TASKS} map "
+        f"tasks, pace {pace}s/task); every resume bit-identical to the "
+        "uninterrupted reference",
+        format_table(
+            [
+                "kill point",
+                "durable maps",
+                "resumed",
+                "replayed",
+                "salvaged",
+                "resume s",
+            ],
+            rows,
+        ),
+    )
+    merged = json.loads(JSON_PATH.read_text()) if JSON_PATH.exists() else {}
+    merged["driver_kill"] = metrics
+    JSON_PATH.write_text(json.dumps(merged, indent=2) + "\n")
+    return metrics
+
+
 def test_fault_recovery(benchmark):
     metrics = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
     assert metrics["runs"][-1]["task_retries"] > 0
@@ -235,6 +395,15 @@ if __name__ == "__main__":
         action="store_true",
         help="small workload, single repeat (CI artifact mode)",
     )
+    parser.add_argument(
+        "--driver-kill",
+        action="store_true",
+        help="SIGKILL a journaled driver at 25/50/75%% map completion and "
+        "measure resume salvage instead of the failure-rate sweep",
+    )
     arguments = parser.parse_args()
-    results = run_comparison(quick=arguments.quick)
+    if arguments.driver_kill:
+        results = run_driver_kill(quick=arguments.quick)
+    else:
+        results = run_comparison(quick=arguments.quick)
     print(json.dumps(results, indent=2))

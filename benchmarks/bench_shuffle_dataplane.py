@@ -88,16 +88,22 @@ def make_records(num_records: int, payload_bytes: int) -> list:
     return [(i, bytes([i % 251]) * payload_bytes) for i in range(num_records)]
 
 
-def make_chain() -> list[Job]:
+def make_chain(config: dict | None = None) -> list[Job]:
     return [
         Job(
             name="spread",
             mapper=FanOutMapper,
             reducer=KeepLargestReducer,
             num_reducers=NUM_REDUCERS,
+            config=dict(config or {}),
         ),
         # Default identity mapper, no combiner: fusable shape.
-        Job(name="tally", reducer=ByteLenReducer, num_reducers=NUM_REDUCERS // 2),
+        Job(
+            name="tally",
+            reducer=ByteLenReducer,
+            num_reducers=NUM_REDUCERS // 2,
+            config=dict(config or {}),
+        ),
     ]
 
 
@@ -238,6 +244,44 @@ def guard_measurements() -> dict:
     }
 
 
+CRC_OVERHEAD_CEILING = 1.05
+CRC_REPEATS = 5
+
+
+def crc_overhead_measurements(repeats: int = CRC_REPEATS) -> dict:
+    """Warm-engine best-of-``repeats`` wall clock: CRC verify on vs off.
+
+    The spill-integrity work checksums every spill payload (CRC32C when
+    available).  This measures the end-to-end toll on the quick chain
+    with a single warm pool so neither arm pays startup costs; the guard
+    holds the on/off ratio under ``crc_overhead`` in the baseline.
+    """
+    records = make_records(QUICK_NUM_RECORDS, QUICK_PAYLOAD_BYTES)
+    timings = {True: float("inf"), False: float("inf")}
+    with MultiprocessEngine(
+        max_workers=MAX_WORKERS, shuffle_mode="direct"
+    ) as engine:
+        # Warm the worker pool before either arm is timed.
+        engine.run_chain(
+            make_chain(), records, num_map_tasks=NUM_MAP_TASKS, fuse=False
+        )
+        for _ in range(repeats):
+            for verify in (True, False):
+                chain = make_chain({"verify_spill_integrity": verify})
+                start = time.perf_counter()
+                engine.run_chain(
+                    chain, records, num_map_tasks=NUM_MAP_TASKS, fuse=False
+                )
+                timings[verify] = min(
+                    timings[verify], time.perf_counter() - start
+                )
+    return {
+        "crc_on_seconds": timings[True],
+        "crc_off_seconds": timings[False],
+        "crc_overhead": timings[True] / timings[False],
+    }
+
+
 def write_baseline() -> dict:
     measured = guard_measurements()
     baseline = {
@@ -259,6 +303,9 @@ def write_baseline() -> dict:
             # localizations only — spill reads are mmapped.  A jump here
             # means someone reintroduced an eager chunk read.
             "direct_bytes_copied": int(measured["direct_bytes_copied"] * 1.5),
+            # End-to-end CRC verification must stay within 5% of the
+            # unverified wall clock (warm pool, best-of-N per arm).
+            "crc_overhead": CRC_OVERHEAD_CEILING,
         },
     }
     BASELINE_PATH.parent.mkdir(exist_ok=True)
@@ -294,6 +341,15 @@ def run_guard() -> dict:
             f"driver-bypass ratio {bypass_ratio:.1f}x below floor "
             f"{ceilings['min_bypass_ratio']}x"
         )
+    crc = crc_overhead_measurements()
+    if crc["crc_overhead"] > ceilings.get("crc_overhead", float("inf")):
+        failures.append(
+            f"CRC verification overhead {crc['crc_overhead']:.3f}x exceeds "
+            f"ceiling {ceilings['crc_overhead']}x "
+            f"({crc['crc_on_seconds']:.3f}s on vs "
+            f"{crc['crc_off_seconds']:.3f}s off)"
+        )
+    measured.update(crc)
     assert not failures, "; ".join(failures)
     return {"measured": measured, "bypass_ratio": bypass_ratio, "ceilings": ceilings}
 

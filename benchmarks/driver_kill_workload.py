@@ -1,0 +1,78 @@
+"""Journaled workload for the driver-kill recovery benchmark.
+
+The benchmark SIGKILLs a real driver subprocess mid-map-phase and then
+resumes the journal in the parent.  The job spec pickle written by the
+killed driver references these classes, so they must be importable under
+the same stable module path (``driver_kill_workload``) in both
+processes — the parent adds ``benchmarks/`` to ``sys.path`` implicitly
+by running the bench script; the child runs with ``cwd=benchmarks/``.
+
+Usable standalone:
+
+    PYTHONPATH=src python benchmarks/driver_kill_workload.py JOURNAL_DIR [PACE]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.mapreduce import Job, Mapper, MultiprocessEngine, Reducer
+
+NUM_RECORDS = 128
+NUM_MAP_TASKS = 8
+NUM_REDUCERS = 4
+
+
+class PacedMapper(Mapper):
+    """Spread each map task's work over ``config["seconds_per_task"]``.
+
+    Pacing gives the parent a wide, deterministic window to kill the
+    driver after a chosen fraction of map results are durable.
+    """
+
+    def map(self, key, value, context):
+        pace = context.config.get("seconds_per_task", 0.0)
+        if pace:
+            time.sleep(pace / max(1, NUM_RECORDS // NUM_MAP_TASKS))
+        context.emit(key % 16, value * 7 + 3)
+
+
+class StatsReducer(Reducer):
+    def reduce(self, key, values, context):
+        values = list(values)
+        context.emit(key, (len(values), sum(values)))
+
+
+def make_records():
+    return [(i, i) for i in range(NUM_RECORDS)]
+
+
+def make_job(seconds_per_task: float = 0.0) -> Job:
+    config = {"seconds_per_task": seconds_per_task} if seconds_per_task else {}
+    return Job(
+        name="driver-kill",
+        mapper=PacedMapper,
+        reducer=StatsReducer,
+        num_reducers=NUM_REDUCERS,
+        config=config,
+    )
+
+
+def main(argv):
+    """Subprocess entry: run one journaled job, print the sorted records."""
+    journal_dir = argv[0]
+    pace = float(argv[1]) if len(argv) > 1 else 0.0
+    engine = MultiprocessEngine(max_workers=2, journal_dir=journal_dir)
+    try:
+        result = engine.run(
+            make_job(pace), make_records(), num_map_tasks=NUM_MAP_TASKS
+        )
+        print(json.dumps(sorted(result.records)))
+    finally:
+        engine.close()
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess helper
+    main(sys.argv[1:])

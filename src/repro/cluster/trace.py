@@ -149,13 +149,21 @@ class Trace:
 
     @classmethod
     def _from_jsonl(cls, text: str) -> "Trace":
-        """Parse JSONL event-stream output; keep the span-shaped lines."""
+        """Parse JSONL event-stream output; keep the span-shaped lines.
+
+        A torn *final* line — the writer died mid-append, e.g. a sink
+        whose driver was killed — is dropped; a malformed line anywhere
+        else is real corruption and re-raises.
+        """
         spans: list[TaskSpan] = []
-        for line in text.splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            record = json.loads(line)
+        lines = [line.strip() for line in text.splitlines() if line.strip()]
+        for position, line in enumerate(lines):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if position == len(lines) - 1:
+                    break
+                raise
             if isinstance(record, dict) and _SPAN_KEYS <= record.keys():
                 spans.append(_span_from_dict(record))
         return cls(spans=spans)

@@ -353,6 +353,14 @@ class PairwiseComputation:
         :meth:`run_broadcast_job`).  Raises with an explicit ``engine``,
         like the other engine-construction knobs.  Close the owned engine
         with :meth:`close` (the computation is a context manager).
+    journal_dir:
+        Durable job journal directory when this computation builds its
+        own engine: a non-``None`` value builds an owned journaled
+        :class:`~repro.mapreduce.runtime.MultiprocessEngine`, so a
+        driver killed mid-computation can be resumed with
+        :func:`repro.mapreduce.journal.resume_job`.  Composes with
+        ``data_plane``; raises with an explicit ``engine``, like the
+        other engine-construction knobs.
     """
 
     def __init__(
@@ -370,6 +378,7 @@ class PairwiseComputation:
         scheduling_policy: Any = None,
         trace_sink: Any = None,
         data_plane: str | None = None,
+        journal_dir: Any = None,
     ):
         self.scheme = scheme
         self.comp = comp
@@ -380,19 +389,21 @@ class PairwiseComputation:
             scheduling_policy is not None
             or trace_sink is not None
             or data_plane is not None
+            or journal_dir is not None
         ):
             raise ValueError(
-                "pass scheduling_policy/trace_sink/data_plane to the engine "
-                "itself when supplying an explicit engine"
+                "pass scheduling_policy/trace_sink/data_plane/journal_dir to "
+                "the engine itself when supplying an explicit engine"
             )
         self._owns_engine = engine is None
         if engine is not None:
             self.engine = engine
-        elif data_plane is not None:
+        elif data_plane is not None or journal_dir is not None:
             self.engine = MultiprocessEngine(
-                data_plane=data_plane,
+                data_plane=data_plane or "default",
                 scheduling_policy=scheduling_policy,
                 trace_sink=trace_sink,
+                journal_dir=journal_dir,
             )
         else:
             self.engine = SerialEngine(

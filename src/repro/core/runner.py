@@ -60,6 +60,7 @@ def auto_pairwise(
     scheduling_policy=None,
     trace_sink=None,
     data_plane: str | None = None,
+    journal_dir=None,
 ) -> tuple[dict[int, Element], SchemeChoice]:
     """Evaluate all pairs of ``dataset`` under an auto-chosen scheme.
 
@@ -73,10 +74,12 @@ def auto_pairwise(
     ``metrics().communication_records``; ``comp`` must then be picklable
     in case the multiprocess engine is selected.  The built engine is
     closed before returning.  ``scheduling_policy`` / ``trace_sink`` /
-    ``data_plane`` are forwarded to whichever engine this call builds
-    (pass them on your own ``engine`` instead when supplying one;
-    ``data_plane`` additionally requires ``auto_engine=True``, since only
-    a pooled engine has a broadcast data plane to pick).
+    ``data_plane`` / ``journal_dir`` are forwarded to whichever engine
+    this call builds (pass them on your own ``engine`` instead when
+    supplying one; ``data_plane`` and ``journal_dir`` additionally
+    require ``auto_engine=True``, since only a pooled engine has a
+    broadcast data plane to pick or a direct shuffle to journal —
+    ``journal_dir`` forces the pooled engine regardless of scale).
     """
     if len(dataset) < 2:
         raise ValueError("pairwise computation needs at least two elements")
@@ -84,13 +87,18 @@ def auto_pairwise(
         scheduling_policy is not None
         or trace_sink is not None
         or data_plane is not None
+        or journal_dir is not None
     ):
         raise ValueError(
-            "pass scheduling_policy/trace_sink/data_plane to the engine "
-            "itself when supplying an explicit engine"
+            "pass scheduling_policy/trace_sink/data_plane/journal_dir to "
+            "the engine itself when supplying an explicit engine"
         )
     if data_plane is not None and not auto_engine:
         raise ValueError("data_plane requires auto_engine=True or an explicit engine")
+    if journal_dir is not None and not auto_engine:
+        raise ValueError(
+            "journal_dir requires auto_engine=True or an explicit engine"
+        )
     if element_size is None:
         element_size = estimate_element_size(dataset)
     choice = choose_scheme(
@@ -108,10 +116,10 @@ def auto_pairwise(
                 dataset, comp, choice.scheme, aggregator=aggregator, engine=engine
             )
         else:
-            if data_plane is not None:
+            if data_plane is not None or journal_dir is not None:
                 raise ValueError(
-                    "data_plane needs a pooled engine; hierarchical schedules "
-                    "without an explicit engine run in-process"
+                    "data_plane/journal_dir need a pooled engine; hierarchical "
+                    "schedules without an explicit engine run in-process"
                 )
             merged = run_rounds(dataset, comp, choice.scheme, aggregator=aggregator)
     else:
@@ -124,6 +132,7 @@ def auto_pairwise(
                 scheduling_policy=scheduling_policy,
                 trace_sink=trace_sink,
                 data_plane=data_plane,
+                journal_dir=journal_dir,
             )
             scheduling_policy = trace_sink = None
         try:

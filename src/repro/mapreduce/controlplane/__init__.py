@@ -44,6 +44,7 @@ from .events import (
     EventBus,
     JsonlTraceSink,
     PhaseMarker,
+    SpillQuarantined,
     SpillWritten,
 )
 from .policy import (
@@ -70,6 +71,7 @@ __all__ = [
     "RoundRobinPolicy",
     "SchedulingPolicy",
     "Slot",
+    "SpillQuarantined",
     "SpillWritten",
     "TASKS_TIMED_OUT",
     "TASK_ATTEMPTS",

@@ -361,6 +361,11 @@ def run_attempt_loop(
             if limit is not None and elapsed > limit:
                 raise TaskTimeoutError(kind, task_index, attempt, elapsed, limit)
         except Exception as exc:  # noqa: BLE001 - task code may raise anything
+            if getattr(exc, "task_retryable", True) is False:
+                # Not this task's fault and not curable by re-running it
+                # (e.g. a corrupt *input* spill file): surface immediately
+                # without burning retry budget — the driver owns the fix.
+                raise
             if failures:
                 exc.__cause__ = failures[-1]
             failures.append(exc)

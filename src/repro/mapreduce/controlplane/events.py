@@ -51,6 +51,24 @@ class SpillWritten:
 
 
 @dataclass(frozen=True)
+class SpillQuarantined:
+    """A spill file failed its integrity check and was renamed aside.
+
+    The driver emits this just before replaying the producing map
+    attempt; ``kind``/``task_index``/``partition`` identify the producer
+    (parsed from the file name), ``reason`` carries the integrity
+    failure's description.
+    """
+
+    time: float
+    path: str
+    kind: str  # producing phase: "map" | "fuse"
+    task_index: int
+    partition: int
+    reason: str
+
+
+@dataclass(frozen=True)
 class BytesMoved:
     """Payload bytes crossed a named channel (driver gather, fused chain)."""
 

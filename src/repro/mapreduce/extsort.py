@@ -28,7 +28,15 @@ from itertools import groupby
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
-from .serialization import decode_records, encode_records, read_chunk_view, record_size
+from .serialization import (
+    SpillCorruptionError,
+    decode_records,
+    encode_records,
+    read_chunk_view,
+    record_size,
+    spill_crc,
+    spill_verification_enabled,
+)
 from .shuffle import stable_hash
 
 KeyValue = tuple[Any, Any]
@@ -37,6 +45,10 @@ KeyValue = tuple[Any, Any]
 #: chunk at a time during the k-way merge, so per-run memory while merging
 #: is one chunk, not the whole run.
 _RUN_CHUNK_RECORDS = 512
+
+#: per-chunk frame header within a run file: payload length + CRC32
+#: (0 when checksumming is disabled at write time)
+_FRAME_HEADER = struct.Struct("<QI")
 
 
 class ExternalSorter:
@@ -70,8 +82,16 @@ class ExternalSorter:
         self._buffer: list[KeyValue] = []
         self._buffered_bytes = 0
         self._runs: list[Path] = []
-        self._tempdir = tempfile.TemporaryDirectory(prefix="repro-extsort-")
-        self._spill_dir = Path(spill_dir) if spill_dir else Path(self._tempdir.name)
+        # Only own a system tempdir when the caller gave us nowhere to
+        # spill; a caller-provided directory is the caller's to remove
+        # (e.g. the engine's per-job shuffle directory, swept on release),
+        # so a worker killed mid-merge leaks nothing under /tmp.
+        self._tempdir: tempfile.TemporaryDirectory | None = None
+        if spill_dir is None:
+            self._tempdir = tempfile.TemporaryDirectory(prefix="repro-extsort-")
+            self._spill_dir = Path(self._tempdir.name)
+        else:
+            self._spill_dir = Path(spill_dir)
         self._spill_dir.mkdir(parents=True, exist_ok=True)
         self._sealed = False
         #: observability: records that went through a disk run
@@ -102,10 +122,12 @@ class ExternalSorter:
             return
         self._buffer.sort(key=self._ordering)
         run_path = self._spill_dir / f"run-{len(self._runs):05d}.npb"
+        checksum = spill_verification_enabled()
         with run_path.open("wb") as handle:
             for start in range(0, len(self._buffer), _RUN_CHUNK_RECORDS):
                 chunk = encode_records(self._buffer[start : start + _RUN_CHUNK_RECORDS])
-                handle.write(struct.pack("<Q", len(chunk)))
+                crc = spill_crc(chunk) if checksum else 0
+                handle.write(_FRAME_HEADER.pack(len(chunk), crc))
                 handle.write(chunk)
         self._runs.append(run_path)
         self.spilled_records += len(self._buffer)
@@ -117,12 +139,31 @@ class ExternalSorter:
         # One mmap per run; each framed chunk decodes from a slice of the
         # mapping, so merge-time memory stays one chunk of *records* per
         # run and the raw bytes are never copied out of the page cache.
+        # Every frame is length- and CRC-checked: a torn or bit-flipped
+        # run file surfaces as SpillCorruptionError instead of a pickle
+        # error (or, worse, silently wrong records).
         view = read_chunk_view(path)
         offset, end = 0, view.nbytes
+        verify = spill_verification_enabled()
         while offset < end:
-            (length,) = struct.unpack_from("<Q", view, offset)
-            offset += 8
-            yield from decode_records(view[offset : offset + length])
+            if end - offset < _FRAME_HEADER.size:
+                raise SpillCorruptionError(
+                    str(path), f"truncated run frame header at offset {offset}"
+                )
+            length, crc = _FRAME_HEADER.unpack_from(view, offset)
+            offset += _FRAME_HEADER.size
+            if offset + length > end:
+                raise SpillCorruptionError(
+                    str(path),
+                    f"truncated run frame at offset {offset} "
+                    f"(need {length} bytes, have {end - offset})",
+                )
+            chunk = view[offset : offset + length]
+            if verify and crc and spill_crc(chunk) != crc:
+                raise SpillCorruptionError(
+                    str(path), f"run frame CRC mismatch at offset {offset}"
+                )
+            yield from decode_records(chunk)
             offset += length
 
     # -- output ---------------------------------------------------------------
@@ -150,8 +191,15 @@ class ExternalSorter:
         yield from heapq.merge(*streams, key=self._ordering)
 
     def close(self) -> None:
-        """Release spill files early (also happens on GC)."""
-        self._tempdir.cleanup()
+        """Release spill files early (also happens on GC for owned dirs)."""
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            return
+        for path in self._runs:
+            try:
+                path.unlink()
+            except OSError:
+                pass  # caller's directory may already be gone
 
     def __enter__(self) -> "ExternalSorter":
         return self

@@ -35,6 +35,7 @@ hit backups too.
 from __future__ import annotations
 
 import hashlib
+import math
 import os
 import time
 from dataclasses import dataclass
@@ -157,7 +158,13 @@ class FaultPlan:
       draw per ``(kind, task_index)`` whether that task's *first* attempt
       crashes, stalls for ``slow_seconds``, or dies; retries (attempt ≥ 2)
       run clean, so any plan built from rates alone is absorbed by a
-      ``max_attempts >= 2`` budget.
+      ``max_attempts >= 2`` budget.  ``corrupt_rate`` / ``truncate_rate``
+      draw per ``(kind, task_index, partition)`` whether a *published*
+      spill file gets a payload byte flipped or is cut short after its
+      atomic rename — modelling silent disk/network corruption under the
+      writer's feet; the integrity layer must detect it
+      (:class:`~repro.mapreduce.serialization.SpillCorruptionError`) and
+      the driver must replay the producing map attempt.
 
     The plan holds no mutable state and is safe to share across tasks,
     attempts, and processes.
@@ -169,14 +176,16 @@ class FaultPlan:
     slow_rate: float = 0.0
     slow_seconds: float = 0.5
     kill_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    truncate_rate: float = 0.0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "faults", tuple(self.faults))
-        for name in ("crash_rate", "slow_rate", "kill_rate"):
+        for name in ("crash_rate", "slow_rate", "kill_rate", "corrupt_rate", "truncate_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
-        if self.slow_seconds < 0:
+        if math.isnan(self.slow_seconds) or self.slow_seconds < 0:
             raise ValueError(f"slow_seconds must be >= 0, got {self.slow_seconds}")
 
     # -- queries the engines make ------------------------------------------------
@@ -244,13 +253,44 @@ class FaultPlan:
             for fault in self.faults
         )
 
+    def spill_fault(
+        self,
+        kind: str,
+        task_index: int,
+        attempt: int,
+        partition: int,
+        *,
+        speculative: bool = False,
+    ) -> str | None:
+        """Damage mode (``"corrupt"``/``"truncate"``) for one just-published
+        spill file, or ``None``.
+
+        Like the attempt-level rates, spill damage fires only on first,
+        non-speculative attempts: retries and driver-side replays model
+        re-reading from a healthy replica, so recovery always converges.
+        Draws are keyed per partition, so each of a task's spill files is
+        damaged (or spared) independently.
+        """
+        if attempt != 1 or speculative:
+            return None
+        if self.corrupt_rate and (
+            _draw(self.seed, kind, task_index, f"corrupt:p{partition}") < self.corrupt_rate
+        ):
+            return "corrupt"
+        if self.truncate_rate and (
+            _draw(self.seed, kind, task_index, f"truncate:p{partition}") < self.truncate_rate
+        ):
+            return "truncate"
+        return None
+
     def describe(self) -> str:
         """One-line summary for logs and bench reports."""
+        rate_names = ("crash_rate", "slow_rate", "kill_rate", "corrupt_rate", "truncate_rate")
         parts = [f"{len(self.faults)} explicit fault(s)"]
-        for name in ("crash_rate", "slow_rate", "kill_rate"):
+        for name in rate_names:
             rate = getattr(self, name)
             if rate:
                 parts.append(f"{name}={rate:g}")
-        if self.crash_rate or self.slow_rate or self.kill_rate:
+        if any(getattr(self, name) for name in rate_names):
             parts.append(f"seed={self.seed}")
         return ", ".join(parts)

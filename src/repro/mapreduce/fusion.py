@@ -73,7 +73,13 @@ def fusable(prev: Job, nxt: Job) -> bool:
     if plan is not None:
         if any(
             getattr(plan, rate, 0.0)
-            for rate in ("crash_rate", "slow_rate", "kill_rate")
+            for rate in (
+                "crash_rate",
+                "slow_rate",
+                "kill_rate",
+                "corrupt_rate",
+                "truncate_rate",
+            )
         ):
             return False
         if any(

@@ -50,6 +50,7 @@ job counters so serial and pooled runs stay bit-identical.
 from __future__ import annotations
 
 import dataclasses
+import os
 import pickle
 import shutil
 import tempfile
@@ -66,6 +67,7 @@ from .controlplane import (
     EventBus,
     PhaseMarker,
     SchedulingPolicy,
+    SpillQuarantined,
     SpillWritten,
     TaskCost,
     resolve_policy,
@@ -89,7 +91,10 @@ from .counters import (
 )
 from .fusion import fusable, run_fused_chain
 from .job import Job, JobResult, KeyValue, TaskFailedError
+from .journal import JobJournal
+from .serialization import SpillCorruptionError
 from .shm import SegmentHost, shm_available
+from .spill import parse_spill_file_name
 from .splits import Split, split_by_count
 from .stats import EngineStats, ShuffleState
 from .tasks import (  # noqa: F401  (re-exports)
@@ -102,6 +107,7 @@ from .tasks import (  # noqa: F401  (re-exports)
     NextStage,
     ReduceTaskSpec,
     marker_path,
+    replay_map_task,
     run_pickled_spec,
     run_spec,
     worker_init,
@@ -171,6 +177,8 @@ class Engine:
         self.scheduling_policy = resolve_policy(scheduling_policy)
         self.events = EventBus()
         self._trace_sink = trace_sink
+        #: (job, handle, splits, num_partitions) of the current map phase
+        self._map_context: tuple | None = None
         if trace_sink is not None:
             self.events.subscribe(trace_sink.record)
 
@@ -215,9 +223,12 @@ class Engine:
 
         num_partitions = job.num_reducers if job.reducer is not None else 0
         handle = self._job_handle(job)
+        self._journal_submit(job, handle, splits, num_partitions)
         started = time.monotonic()
         try:
-            return self._run_phases(job, handle, splits, num_partitions)
+            result = self._run_phases(job, handle, splits, num_partitions)
+            self._journal_finish(handle)
+            return result
         finally:
             self._note_run(time.monotonic() - started)
             self._release_job(handle)
@@ -349,6 +360,10 @@ class Engine:
         """Run the map tasks and gather their partitioned output by mode."""
         mode = self._shuffle_mode if num_partitions > 0 else "memory"
         spill_dir = self._shuffle_dir(handle) if mode == "direct" else None
+        # Stashed so corruption recovery during the *reduce* phase can
+        # replay a producing map task from its original split.
+        self._map_context = (job, handle, splits, num_partitions)
+        durable = spill_dir is not None and self._durable_spills()
         map_specs = [
             MapTaskSpec(
                 job=handle,
@@ -357,6 +372,7 @@ class Engine:
                 encode=mode != "memory",
                 spill_dir=spill_dir,
                 task_index=index,
+                durable_spill=durable,
             )
             for index, split in enumerate(splits)
         ]
@@ -437,6 +453,7 @@ class Engine:
         next_stage: NextStage | None = None,
     ) -> list[Any]:
         """Build and run the reduce tasks over gathered map output."""
+        scratch = self._reduce_scratch_dir(handle)
         reduce_specs = []
         for index in range(len(state.gathered)):
             part = state.gathered[index]
@@ -452,6 +469,7 @@ class Engine:
                     partition_bytes=state.part_bytes[index],
                     task_index=index,
                     next_stage=next_stage,
+                    scratch_dir=scratch,
                 )
             )
         self._phase_marker(job, "reduce", len(reduce_specs), "started")
@@ -466,6 +484,7 @@ class Engine:
         max_workers: int | None = None,
         serial_below: int = AUTO_SERIAL_MAX_RECORDS,
         data_plane: str | None = None,
+        journal_dir: str | Path | None = None,
     ) -> "Engine":
         """Pick an engine from a workload-size hint — see :func:`choose_engine`."""
         return choose_engine(
@@ -473,6 +492,7 @@ class Engine:
             max_workers=max_workers,
             serial_below=serial_below,
             data_plane=data_plane,
+            journal_dir=journal_dir,
         )
 
     def close(self) -> None:
@@ -504,6 +524,27 @@ class Engine:
 
     def _note_run(self, seconds: float) -> None:
         """Fold one run's wall-clock into engine stats (noop by default)."""
+
+    def _journal_submit(
+        self, job: Job, handle: Any, splits: list[Split], num_partitions: int
+    ) -> None:
+        """Write-ahead the job spec when journaled (noop by default)."""
+
+    def _journal_finish(self, handle: Any) -> None:
+        """Retire a finished job's journal state (noop by default)."""
+
+    def _reduce_scratch_dir(self, handle: Any) -> str | None:
+        """Engine-owned scratch root for reduce-side external sorts.
+
+        ``None`` (the default) lets each sorter own a private system
+        temp dir; engines that return a directory sweep it themselves,
+        so scratch from killed attempts cannot leak past the job.
+        """
+        return None
+
+    def _durable_spills(self) -> bool:
+        """True when map spill files must be fsync'd before publication."""
+        return False
 
     def _run_tasks(self, specs: list[Any], job: Job) -> list[Any]:
         raise NotImplementedError
@@ -546,6 +587,7 @@ def choose_engine(
     scheduling_policy: SchedulingPolicy | str | None = None,
     trace_sink: Any = None,
     data_plane: str | None = None,
+    journal_dir: str | Path | None = None,
 ) -> Engine:
     """Pick an engine from a workload-size hint (records through the run).
 
@@ -563,10 +605,15 @@ def choose_engine(
     ``trace_sink`` are passed through to whichever engine is built;
     ``data_plane`` only to a pooled engine (the serial engine runs
     in-process, where the cache is already shared by definition).
+    ``journal_dir`` forces a pooled engine regardless of the hint — the
+    durable journal rides the direct shuffle's spill files, which only
+    the :class:`MultiprocessEngine` has.
     """
     if workload_hint is not None and workload_hint < 0:
         raise ValueError(f"workload_hint must be >= 0, got {workload_hint}")
-    if workload_hint is None or workload_hint < serial_below:
+    if journal_dir is None and (
+        workload_hint is None or workload_hint < serial_below
+    ):
         return SerialEngine(
             scheduling_policy=scheduling_policy, trace_sink=trace_sink
         )
@@ -575,6 +622,7 @@ def choose_engine(
         data_plane=data_plane or "default",
         scheduling_policy=scheduling_policy,
         trace_sink=trace_sink,
+        journal_dir=journal_dir,
     )
 
 
@@ -619,6 +667,14 @@ class MultiprocessEngine(Engine):
     bit-identical across data planes too.  ``scheduling_policy`` orders
     dispatch within each phase (fifo by default); ``trace_sink`` receives
     the run's structured events (see :class:`Engine`).
+
+    ``journal_dir`` (direct mode only) attaches a durable
+    :class:`~repro.mapreduce.journal.JobJournal`: job specs, attempt
+    transitions and spill manifests are fsync'd to
+    ``journal_dir/journal.jsonl``, spill files live beside it and are
+    fsync'd before publication, and a driver killed mid-job can be
+    resumed with :func:`repro.mapreduce.journal.resume_job` — re-running
+    only the map tasks whose outputs didn't survive, bit-identically.
     """
 
     def __init__(
@@ -629,6 +685,7 @@ class MultiprocessEngine(Engine):
         data_plane: str = "default",
         scheduling_policy: SchedulingPolicy | str | None = None,
         trace_sink: Any = None,
+        journal_dir: str | Path | None = None,
     ):
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -640,6 +697,12 @@ class MultiprocessEngine(Engine):
             raise ValueError(
                 f"data_plane must be one of {DATA_PLANES}, got {data_plane!r}"
             )
+        if journal_dir is not None and shuffle_mode != "direct":
+            raise ValueError(
+                "journal_dir requires shuffle_mode='direct': the journal's "
+                "resumable state is the direct plane's spill files, got "
+                f"shuffle_mode={shuffle_mode!r}"
+            )
         super().__init__(scheduling_policy=scheduling_policy, trace_sink=trace_sink)
         self.max_workers = max_workers
         self._shuffle_mode = shuffle_mode
@@ -648,6 +711,14 @@ class MultiprocessEngine(Engine):
         self._data_plane = data_plane
         self.stats = EngineStats()
         self._job_seq = 0
+        self._journal: JobJournal | None = None
+        #: ResumePlan to consume on the next map phase (set by resume_job)
+        self._pending_resume: Any = None
+        #: (job uid, map task index) -> driver-side replay count
+        self._replay_attempts: dict[tuple[str, int], int] = {}
+        if journal_dir is not None:
+            self._journal = JobJournal(journal_dir, stats=self.stats)
+            self.events.subscribe(self._journal.record_event)
         self._resources: dict = {}
         self._finalizer = weakref.finalize(self, _dispose, self._resources)
 
@@ -670,6 +741,15 @@ class MultiprocessEngine(Engine):
     def close(self) -> None:
         """Shut the pool down and remove broadcast files (engine reusable)."""
         _dispose(self._resources)
+        journal = self._journal
+        if journal is not None:
+            # Unfinished journaled jobs keep their spill files — resume
+            # needs them — but per-attempt extsort scratch is never
+            # salvageable: sweep it so killed attempts cannot leak dirs.
+            for shuffle_dir in journal.dir.glob("*-shuffle"):
+                for scratch in shuffle_dir.glob("extsort-*"):
+                    shutil.rmtree(scratch, ignore_errors=True)
+            journal.close()
         super().close()
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -709,7 +789,13 @@ class MultiprocessEngine(Engine):
         the default plane on its own.
         """
         self._job_seq += 1
-        uid = f"job-{self._job_seq}"
+        # Journaled uids must not collide across driver processes: the
+        # journal directory outlives drivers by design.
+        uid = (
+            f"job-{os.getpid()}-{self._job_seq}"
+            if self._journal is not None
+            else f"job-{self._job_seq}"
+        )
         cache_ref = None
         if self._data_plane == "shm" and job.cache:
             try:
@@ -742,9 +828,44 @@ class MultiprocessEngine(Engine):
 
     def _shuffle_dir(self, handle: Any) -> str:
         assert isinstance(handle, JobRef)
-        path = Path(handle.path).parent / f"{handle.uid}-shuffle"
+        if self._journal is not None:
+            # Journaled spills live beside the journal describing them,
+            # on storage that outlives this driver process.
+            path = self._journal.shuffle_dir(handle.uid)
+        else:
+            path = Path(handle.path).parent / f"{handle.uid}-shuffle"
         path.mkdir(exist_ok=True)
         return str(path)
+
+    def _reduce_scratch_dir(self, handle: Any) -> str | None:
+        # Engine-owned scratch root: reduce-side external sorts spill
+        # under the job's shuffle dir, so scratch from killed attempts is
+        # swept with the job instead of leaking system temp dirs.
+        if isinstance(handle, JobRef):
+            return self._shuffle_dir(handle)
+        return None
+
+    def _durable_spills(self) -> bool:
+        # The journal must never reference a spill file the disk doesn't
+        # hold: fsync map spills before their manifests are journaled.
+        return self._journal is not None
+
+    def _journal_submit(
+        self, job: Job, handle: Any, splits: list[Split], num_partitions: int
+    ) -> None:
+        if self._journal is not None:
+            assert isinstance(handle, JobRef)
+            self._journal.submit(handle.uid, job, splits, num_partitions)
+
+    def _journal_finish(self, handle: Any) -> None:
+        if self._journal is not None and isinstance(handle, JobRef):
+            # Journal first, then artifacts: a crash between the two
+            # leaks files rather than resurrecting a finished job.
+            self._journal.finish(handle.uid)
+            shutil.rmtree(
+                self._journal.shuffle_dir(handle.uid), ignore_errors=True
+            )
+            self._journal.spec_path(handle.uid).unlink(missing_ok=True)
 
     def _note_worker(self, info: dict) -> None:
         self.stats.worker_pids.add(info["pid"])
@@ -754,9 +875,103 @@ class MultiprocessEngine(Engine):
         self.stats.broadcast_loads += info.get("extra_loads", 0)
         self.stats.mmap_reads += info.get("mmap_reads", 0)
         self.stats.bytes_copied += info.get("bytes_copied", 0)
+        self.stats.spill_files_damaged += info.get("spills_damaged", 0)
 
     def _note_run(self, seconds: float) -> None:
         self.stats.run_seconds += seconds
+
+    # -- durability ------------------------------------------------------------
+    def _journal_map_result(self, spec: Any, output: Any) -> None:
+        """Journal one completed map task's spill manifest and counters."""
+        assert self._journal is not None and isinstance(spec.job, JobRef)
+        (entries, counts, sizes), counter_dict, _info = output
+        self._journal.map_result(
+            spec.job.uid, spec.task_index, entries, counts, sizes, counter_dict
+        )
+
+    def _recover_spill_corruption(
+        self, exc: SpillCorruptionError, spec: Any
+    ) -> bool:
+        """Hadoop fetch-failure semantics for a corrupt map spill file.
+
+        A reduce attempt that hit a corrupt or truncated spill names it
+        in ``exc.path``.  The driver — not the reducer — owns the fix:
+        quarantine the file (renamed aside for post-mortem), re-execute
+        the producing map task from its original split outside the retry
+        budget, and patch this reducer's manifest to the fresh file.
+        Replayed counters are discarded — the winning attempt already
+        contributed them — so job counters stay bit-identical to a
+        corruption-free run.  Returns False when the failure isn't
+        recoverable this way (unparseable producer, file not among this
+        reducer's inputs, replay budget exhausted); the normal failure
+        path then takes over.
+        """
+        context = self._map_context
+        if (
+            context is None
+            or not isinstance(spec, ReduceTaskSpec)
+            or spec.spill_paths is None
+        ):
+            return False
+        corrupt = exc.path
+        if corrupt not in spec.spill_paths:
+            return False  # already recovered for a sibling attempt
+        parsed = parse_spill_file_name(os.path.basename(corrupt))
+        if parsed is None:
+            return False
+        file_kind, task_index, partition = parsed
+        job, handle, splits, num_partitions = context
+        if (
+            file_kind != "map"
+            or partition != spec.task_index
+            or not isinstance(handle, JobRef)
+            or task_index >= len(splits)
+        ):
+            return False
+        key = (handle.uid, task_index)
+        replays = self._replay_attempts.get(key, 0)
+        if replays >= num_partitions + 2:
+            return False  # persistent re-corruption: surface the error
+        self._replay_attempts[key] = replays + 1
+
+        self.stats.spill_corruptions += 1
+        try:
+            os.replace(corrupt, corrupt + ".quarantined")
+            self.stats.spill_files_quarantined += 1
+        except OSError:
+            pass  # already moved or gone; the replay still supersedes it
+        if self._observing:
+            self._emit(
+                SpillQuarantined(
+                    time=time.monotonic(),
+                    path=corrupt,
+                    kind=file_kind,
+                    task_index=task_index,
+                    partition=partition,
+                    reason=exc.reason,
+                )
+            )
+
+        # Attempt numbers above job.max_attempts cannot collide with any
+        # worker-side attempt's files; the replay runs without fault
+        # injection (spill faults fire on first attempts only).
+        replay_spec = MapTaskSpec(
+            job=handle,
+            records=splits[task_index].records,
+            num_partitions=num_partitions,
+            encode=True,
+            spill_dir=self._shuffle_dir(handle),
+            task_index=task_index,
+            first_attempt=job.max_attempts + self._replay_attempts[key],
+            durable_spill=self._durable_spills(),
+        )
+        entries, _counts, _sizes = replay_map_task(job, replay_spec)
+        self.stats.tasks_replayed += 1
+        entry = entries[partition]
+        if entry is None:
+            return False  # pragma: no cover - replay dropped the partition
+        spec.spill_paths[spec.spill_paths.index(corrupt)] = entry[0]
+        return True
 
     # -- fused chaining --------------------------------------------------------
     #: fusability predicate, re-exposed for introspection/tests
@@ -778,7 +993,15 @@ class MultiprocessEngine(Engine):
         chain.  Relay mode has no spill files to hand over, so it never
         fuses.
         """
-        if fuse is False or self._shuffle_mode != "direct" or len(jobs) < 2:
+        if (
+            fuse is False
+            or self._shuffle_mode != "direct"
+            # Fused stages publish fuse-kind spill files that cannot be
+            # replayed from a map spec; journaled chains run stage by
+            # stage so every stage stays independently resumable.
+            or self._journal is not None
+            or len(jobs) < 2
+        ):
             return super().run_chain(
                 jobs, input_records, num_map_tasks=num_map_tasks
             )
@@ -824,6 +1047,16 @@ class MultiprocessEngine(Engine):
         tracker = AttemptTracker(kind, total, job, bus=self._bus())
         order = self._dispatch_order(specs)
         results: dict[int, Any] = {}
+        journal = (
+            self._journal
+            if kind == "map"
+            and self._journal is not None
+            and getattr(specs[0], "spill_dir", None) is not None
+            else None
+        )
+        resume = None
+        if kind == "map" and self._pending_resume is not None:
+            resume, self._pending_resume = self._pending_resume, None
         inflight: dict[Future, int] = {}
         attempts: dict[Future, Any] = {}  # Future -> TaskAttempt
         launched_at: dict[Future, float] = {}
@@ -862,6 +1095,8 @@ class MultiprocessEngine(Engine):
             tracker.complete(
                 attempts[future], now=now, worker_pid=output[2].get("pid")
             )
+            if journal is not None:
+                self._journal_map_result(specs[index], output)
             # Any sibling attempt still out is wasted speculative work:
             # cancel it if it never started, discard its output otherwise.
             for other, other_index in list(inflight.items()):
@@ -917,7 +1152,30 @@ class MultiprocessEngine(Engine):
                 self.stats.tasks_relaunched += 1
                 dispatch(index)
 
+        if resume is not None:
+            # Re-attach the dead run's surviving map outputs: salvaged
+            # tasks contribute their journaled manifests and counters
+            # verbatim (bit-identical to re-execution), re-journaled
+            # under this run's uid; only the rest re-run.
+            for index, salvaged in sorted(resume.salvage.items()):
+                if index >= total:
+                    continue
+                entries, counts, sizes, counter_dict = salvaged
+                output = (
+                    (entries, counts, sizes),
+                    counter_dict,
+                    {"pid": os.getpid(), "loaded": False},
+                )
+                results[index] = output
+                tracker.completed.add(index)
+                self.stats.tasks_resumed += 1
+                if journal is not None:
+                    self._journal_map_result(specs[index], output)
+            self.stats.tasks_replayed += total - len(results)
+
         for index in order:
+            if index in results:
+                continue
             dispatch(index)
 
         while len(results) < total:
@@ -943,6 +1201,17 @@ class MultiprocessEngine(Engine):
                         continue
                     if isinstance(exc, BrokenProcessPool):
                         broken = True
+                        continue
+                    if isinstance(
+                        exc, SpillCorruptionError
+                    ) and self._recover_spill_corruption(exc, specs[index]):
+                        # The reducer's *input* was bad, not the attempt:
+                        # the corrupt file is quarantined, its producing
+                        # map attempt replayed, and the spec patched to
+                        # the fresh file — kill (not fail) so the
+                        # reducer's own retry budget stays untouched.
+                        tracker.kill(attempts[future], now=now)
+                        dispatch(index)
                         continue
                     tracker.fail(attempts[future], now=now)
                     errors[index] = exc

@@ -15,7 +15,12 @@ import pickle
 from itertools import groupby
 from typing import Any, Callable, Iterable, Iterator
 
-from .serialization import decode_records, read_chunk_view, record_size
+from .serialization import (
+    SpillCorruptionError,
+    decode_records,
+    read_spill_chunk,
+    record_size,
+)
 
 KeyValue = tuple[Any, Any]
 
@@ -32,9 +37,21 @@ def iter_spill_records(paths: Iterable[str]) -> Iterator[KeyValue]:
     lets a retried reduce attempt re-read its input from scratch.  Files
     are mmap-mapped, not slurped: ndarray payloads decode as read-only
     views over the page cache with no intermediate ``bytes`` copy.
+
+    Every file's SPC1 header is verified before decoding (and decode
+    errors are promoted to :class:`SpillCorruptionError` naming the file),
+    so a damaged spill file is always attributed to the producing map
+    task rather than surfacing as an opaque pickle failure in the reducer.
     """
     for path in paths:
-        yield from decode_records(read_chunk_view(path))
+        payload = read_spill_chunk(path)
+        try:
+            records = decode_records(payload)
+        except SpillCorruptionError:
+            raise
+        except Exception as exc:  # undetected damage within a valid frame
+            raise SpillCorruptionError(str(path), f"undecodable payload: {exc}") from exc
+        yield from records
 
 
 def stable_hash(key: Any) -> int:

@@ -1,25 +1,39 @@
 """Shuffle data-plane spill files: naming and worker-side writing.
 
 The direct (driver-bypass) shuffle moves map output through on-disk
-spill files — one NPB1-framed chunk per (task, partition) under the
-job's scratch directory — so only manifests (paths + counts) ever cross
-the driver.  Files are *attempt-scoped*: the dispatch identity (task
-index, 1-based first-attempt number, speculative flag — see
-:func:`repro.mapreduce.controlplane.attempts.attempt_tag`) is baked into
-the name, so a re-dispatch after a lost worker or a speculative backup
-can never collide with an earlier attempt's files.  Within one dispatch
-the worker writes only after its attempt loop succeeds, exactly once,
-and :func:`~repro.mapreduce.serialization.write_chunk_file` publishes by
-atomic rename — losers just leave orphans that are removed with the job.
+spill files — one checksummed NPB1-framed chunk per (task, partition)
+under the job's scratch directory — so only manifests (paths + counts)
+ever cross the driver.  Files are *attempt-scoped*: the dispatch
+identity (task index, 1-based first-attempt number, speculative flag —
+see :func:`repro.mapreduce.controlplane.attempts.attempt_tag`) is baked
+into the name, so a re-dispatch after a lost worker or a speculative
+backup can never collide with an earlier attempt's files.  Within one
+dispatch the worker writes only after its attempt loop succeeds, exactly
+once, and :func:`~repro.mapreduce.serialization.write_spill_chunk`
+publishes by atomic rename — losers just leave orphans that are removed
+with the job.
+
+Fault injection rides the publish step: a plan with ``corrupt_rate`` /
+``truncate_rate`` damages just-published files *after* the rename,
+modelling silent disk corruption under the writer's feet — exactly the
+failure the SPC1 integrity header exists to catch.
 """
 
 from __future__ import annotations
 
 import os
+import re
 
 from .controlplane.attempts import attempt_tag
+from .faults import FaultPlan
 from .job import KeyValue
-from .serialization import encode_records, write_chunk_file
+from .serialization import SPILL_HEADER_BYTES, encode_records, write_spill_chunk
+
+#: inverse of :func:`spill_file_path` — scratch tooling and the driver's
+#: corruption-recovery path parse (kind, task, partition) back out of names
+_SPILL_NAME_RE = re.compile(
+    r"^(?P<kind>[a-z]+)-(?P<task>\d{5})-a\d+s?-p(?P<partition>\d{5})\.spill$"
+)
 
 
 def spill_file_path(
@@ -42,6 +56,14 @@ def spill_file_path(
     )
 
 
+def parse_spill_file_name(name: str) -> tuple[str, int, int] | None:
+    """(kind, task_index, partition) parsed from a spill file name, or None."""
+    match = _SPILL_NAME_RE.match(name)
+    if match is None:
+        return None
+    return (match.group("kind"), int(match.group("task")), int(match.group("partition")))
+
+
 def spill_partitions(
     partitions: list[list[KeyValue]],
     counts: list[int],
@@ -50,22 +72,61 @@ def spill_partitions(
     task_index: int,
     attempt: int,
     speculative: bool,
-) -> list[tuple[str, int] | None]:
-    """Encode and spill one task's partitions; return the manifest entries.
+    *,
+    plan: FaultPlan | None = None,
+    durable: bool = False,
+) -> tuple[list[tuple[str, int] | None], int]:
+    """Encode and spill one task's partitions; return (manifest entries,
+    files damaged by injection).
 
-    Empty partitions get no file (``None`` entry).  Runs worker-side
-    *after* the attempt loop succeeded, so a failed attempt never writes;
-    the atomic publish in :func:`write_chunk_file` covers mid-write kills.
+    Empty partitions get no file (``None`` entry); manifest sizes are
+    *payload* bytes (the SPC1 header is excluded, keeping byte accounting
+    comparable across planes).  Runs worker-side *after* the attempt loop
+    succeeded, so a failed attempt never writes.  ``durable=True`` fsyncs
+    each file before publish (journaled engines).  ``plan`` applies
+    post-publish ``corrupt``/``truncate`` damage; the count of damaged
+    files is reported so the driver can meter exactly how many
+    corruptions were injected.
     """
     entries: list[tuple[str, int] | None] = []
+    damaged = 0
     for partition, part in enumerate(partitions):
         if counts[partition]:
             chunk = encode_records(part)
             path = spill_file_path(
                 spill_dir, kind, task_index, attempt, speculative, partition
             )
-            write_chunk_file(path, chunk)
+            write_spill_chunk(path, chunk, durable=durable)
             entries.append((path, len(chunk)))
+            if plan is not None:
+                mode = plan.spill_fault(
+                    kind, task_index, attempt, partition, speculative=speculative
+                )
+                if mode is not None:
+                    _damage_file(path, mode)
+                    damaged += 1
         else:
             entries.append(None)
-    return entries
+    return entries, damaged
+
+
+def _damage_file(path: str, mode: str) -> None:
+    """Inflict deterministic post-publish damage on one spill file.
+
+    ``truncate`` halves the file (caught by the header's length field or,
+    if the cut lands inside the header, the short-header check);
+    ``corrupt`` flips one byte in the middle of the payload, leaving the
+    framing intact so only the CRC can catch it.
+    """
+    size = os.path.getsize(path)
+    if mode == "truncate":
+        with open(path, "r+b") as handle:
+            handle.truncate(size // 2)
+        return
+    offset = SPILL_HEADER_BYTES + max(0, (size - SPILL_HEADER_BYTES) // 2)
+    offset = min(offset, size - 1)
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0xFF]))

@@ -46,6 +46,17 @@ class EngineStats:
     localizations, driver-relayed chunks — shm attaches and mmap reads
     count zero).  ``bytes_copied`` per pair is the benchmark's headline
     number and the counter-ceiling guard watches it for regressions.
+
+    The durability meters track journaling and integrity recovery:
+    ``journal_events`` counts fsync'd journal appends; ``tasks_resumed``
+    map tasks whose journaled spill output was re-attached instead of
+    re-run by ``resume_job``; ``tasks_replayed`` map attempts re-executed
+    driver-side (missing outputs on resume, corrupt spill files during a
+    run); ``spill_corruptions`` integrity failures detected on the read
+    path; ``spill_files_quarantined`` damaged files renamed aside;
+    ``spill_files_damaged`` files the fault plan's ``corrupt_rate`` /
+    ``truncate_rate`` actually damaged (write-side injection count, so
+    tests can assert every injected corruption was detected).
     """
 
     pools_created: int = 0
@@ -69,6 +80,12 @@ class EngineStats:
     shm_segments_revived: int = 0
     mmap_reads: int = 0
     bytes_copied: int = 0
+    journal_events: int = 0
+    tasks_resumed: int = 0
+    tasks_replayed: int = 0
+    spill_corruptions: int = 0
+    spill_files_quarantined: int = 0
+    spill_files_damaged: int = 0
     run_seconds: float = 0.0
 
     @property

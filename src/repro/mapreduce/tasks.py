@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable
 
-from .controlplane.attempts import run_attempt_loop
+from .controlplane.attempts import attempt_tag, run_attempt_loop
 from .counters import (
     COMBINE_INPUT_RECORDS,
     COMBINE_OUTPUT_RECORDS,
@@ -50,7 +50,13 @@ from .counters import (
 from .extsort import ExternalSorter, sorted_groups
 from .faults import FaultPlan, PoisonedRecordError
 from .job import Context, Job, KeyValue
-from .serialization import decode_records, encode_records, io_meter, record_size
+from .serialization import (
+    decode_records,
+    encode_records,
+    io_meter,
+    record_size,
+    set_spill_verification,
+)
 from .shm import attach_object
 from .shuffle import iter_spill_records, partition_with_sizes, sort_and_group
 from .spill import spill_partitions
@@ -105,6 +111,9 @@ class MapTaskSpec:
     first_attempt: int = 1
     #: True for a speculative backup dispatch of a straggling task
     speculative: bool = False
+    #: fsync spill files before publish (journaled engines: the journal
+    #: must never promise a manifest the page cache hasn't flushed)
+    durable_spill: bool = False
 
 
 @dataclass(frozen=True)
@@ -142,6 +151,11 @@ class ReduceTaskSpec:
     #: when set, partition + spill this task's output for the next job
     #: (the fused reduce→map short-circuit) instead of returning records
     next_stage: NextStage | None = None
+    #: engine-owned directory for this task's external-sort runs; when
+    #: None the sorter owns a system tempdir (serial engine).  Pooled
+    #: engines point it at the job's shuffle directory so a worker killed
+    #: mid-merge leaks nothing outside the job's scratch space.
+    scratch_dir: str | None = None
 
 
 @dataclass
@@ -262,6 +276,7 @@ def execute_map_task(spec: MapTaskSpec) -> tuple[tuple, dict, dict]:
     """
     mark = io_meter.snapshot()
     job, info = resolve_job(spec.job)
+    set_spill_verification(job.config.get("verify_spill_integrity", True))
     (partitions, counts, sizes), counters = run_attempt_loop(
         "map",
         job,
@@ -273,7 +288,7 @@ def execute_map_task(spec: MapTaskSpec) -> tuple[tuple, dict, dict]:
         in_worker=_IS_POOL_WORKER,
     )
     if spec.spill_dir is not None:
-        partitions = spill_partitions(
+        partitions, damaged = spill_partitions(
             partitions,
             counts,
             spec.spill_dir,
@@ -281,7 +296,11 @@ def execute_map_task(spec: MapTaskSpec) -> tuple[tuple, dict, dict]:
             spec.task_index,
             spec.first_attempt,
             spec.speculative,
+            plan=job.config.get("fault_plan"),
+            durable=spec.durable_spill,
         )
+        if damaged:
+            info = {**info, "spills_damaged": damaged}
     elif spec.encode:
         partitions = [encode_records(part) for part in partitions]
     return (partitions, counts, sizes), counters, _with_io_delta(info, mark)
@@ -357,6 +376,7 @@ def execute_reduce_task(spec: ReduceTaskSpec) -> tuple[Any, dict, dict]:
     """
     mark = io_meter.snapshot()
     job, info = resolve_job(spec.job)
+    set_spill_verification(job.config.get("verify_spill_integrity", True))
     if spec.spill_paths is not None:
         paths = spec.spill_paths
 
@@ -381,7 +401,11 @@ def execute_reduce_task(spec: ReduceTaskSpec) -> tuple[Any, dict, dict]:
         "reduce",
         job,
         lambda attempt: _reduce_attempt(
-            job, load(), spec.num_records, spec.partition_bytes
+            job,
+            load(),
+            spec.num_records,
+            spec.partition_bytes,
+            scratch=_attempt_scratch(spec, attempt),
         ),
         task_index=spec.task_index,
         first_attempt=spec.first_attempt,
@@ -396,7 +420,7 @@ def execute_reduce_task(spec: ReduceTaskSpec) -> tuple[Any, dict, dict]:
             output, stage.num_partitions, next_job.partitioner
         )
         counts = [len(part) for part in partitions]
-        entries = spill_partitions(
+        entries, _damaged = spill_partitions(
             partitions,
             counts,
             stage.spill_dir,
@@ -413,8 +437,27 @@ def execute_reduce_task(spec: ReduceTaskSpec) -> tuple[Any, dict, dict]:
     return output, counters, _with_io_delta(info, mark)
 
 
+def _attempt_scratch(spec: ReduceTaskSpec, attempt: int) -> str | None:
+    """Per-attempt external-sort directory under the engine's scratch dir.
+
+    Attempt-scoped (same tag discipline as spill files) so a retried
+    merge never collides with a dead attempt's half-written runs.
+    """
+    if spec.scratch_dir is None:
+        return None
+    tag = attempt_tag(attempt, spec.speculative)
+    return os.path.join(
+        spec.scratch_dir, f"extsort-reduce-{spec.task_index:05d}-{tag}"
+    )
+
+
 def _reduce_attempt(
-    job: Job, records: Iterable[KeyValue], num_records: int, partition_bytes: int
+    job: Job,
+    records: Iterable[KeyValue],
+    num_records: int,
+    partition_bytes: int,
+    *,
+    scratch: str | None = None,
 ) -> tuple[list[KeyValue], dict]:
     """One attempt of a reduce task.
 
@@ -437,7 +480,9 @@ def _reduce_attempt(
         # Partition beyond the spill threshold: external merge sort with
         # the threshold as memory budget.  Deterministic and identical to
         # the in-memory path (same ordering + stable arrival-order ties).
-        sorter = ExternalSorter(memory_budget=max(1, threshold), sort_key=job.sort_key)
+        sorter = ExternalSorter(
+            memory_budget=max(1, threshold), sort_key=job.sort_key, spill_dir=scratch
+        )
         sorter.add_all(records)
         groups = sorted_groups(sorter)
     else:
@@ -460,6 +505,38 @@ def _reduce_attempt(
     output = context.drain()
     counters.increment(FRAMEWORK_GROUP, REDUCE_OUTPUT_RECORDS, len(output))
     return output, counters.as_dict()
+
+
+def replay_map_task(job: Job, spec: MapTaskSpec) -> tuple[list, list, list]:
+    """Driver-side re-execution of one map attempt for corruption recovery.
+
+    When a reducer trips over a corrupt spill file, the fix is Hadoop's
+    fetch-failure move: re-run the *producing map*, not the reducer.  This
+    runs a single clean attempt in the driver process, outside the retry
+    budget (recovery work is not charged to the task) and outside fault
+    injection (the replay models re-reading from a healthy replica), and
+    republishes the spill files under ``spec.first_attempt`` — an attempt
+    number past any the worker loop could have used, so the fresh files
+    never collide with the quarantined ones.  The attempt's counters are
+    discarded: the original successful attempt's were already merged, and
+    recovery must leave job counters bit-identical.
+
+    Returns ``(entries, counts, sizes)`` for the replayed task.
+    """
+    set_spill_verification(job.config.get("verify_spill_integrity", True))
+    (partitions, counts, sizes), _counters = _map_attempt(job, spec, spec.first_attempt)
+    assert spec.spill_dir is not None
+    entries, _damaged = spill_partitions(
+        partitions,
+        counts,
+        spec.spill_dir,
+        "map",
+        spec.task_index,
+        spec.first_attempt,
+        spec.speculative,
+        durable=spec.durable_spill,
+    )
+    return entries, counts, sizes
 
 
 def run_spec(spec: Any) -> Any:

@@ -132,6 +132,30 @@ class TestSlotInventory:
         with pytest.raises(ValueError):
             Trace.from_json('{"not": "a trace"}')
 
+    def test_jsonl_torn_final_line_tolerated(self):
+        # A trace sink that dies mid-write leaves a torn last line; the
+        # loader keeps everything before it (crash-artifact tolerance).
+        text = "\n".join(
+            [
+                '{"task": 0, "node": 0, "slot": 0, "start": 0.0, "end": 1.0}',
+                '{"task": 1, "node": 0, "slot": 1, "start": 0.5, "end": 2.0}',
+                '{"task": 2, "node": 0, "slot": 0, "start": 1.0, "e',
+            ]
+        )
+        restored = Trace.from_json(text)
+        assert [span.task_id for span in restored.spans] == [0, 1]
+
+    def test_jsonl_interior_corruption_still_raises(self):
+        text = "\n".join(
+            [
+                '{"task": 0, "node": 0, "slot": 0, "start": 0.0, "end": 1.0}',
+                '{"task": 1, "torn',
+                '{"task": 2, "node": 0, "slot": 0, "start": 1.0, "end": 2.0}',
+            ]
+        )
+        with pytest.raises(ValueError):
+            Trace.from_json(text)
+
     def test_slots_derived_from_spans_when_omitted(self):
         trace = Trace(spans=[TaskSpan(1, 2, 3, 0.0, 1.0)])
         assert trace.slots == [(2, 3)]

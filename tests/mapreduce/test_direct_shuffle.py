@@ -256,6 +256,15 @@ class TestDirectShuffleUnderWorkerDeath:
         # A worker-kill takes down the reducer's process while it merges
         # its spill files; the re-dispatched attempt re-reads the same
         # files from scratch and the job result is unchanged.
+        import glob
+        import tempfile
+
+        # A killed reducer can never run its ExternalSorter.close(); the
+        # engine must still not leak extsort scratch dirs into the system
+        # temp dir (they belong under the job's shuffle dir, which the
+        # engine sweeps).
+        leak_pattern = os.path.join(tempfile.gettempdir(), "repro-extsort-*")
+        leaks_before = len(glob.glob(leak_pattern))
         records = [(i, SizedPayload(500, tag=i)) for i in range(80)]
 
         def job(plan=None):
@@ -279,6 +288,17 @@ class TestDirectShuffleUnderWorkerDeath:
             survived = engine.run(job(plan), records, num_map_tasks=4)
             assert engine.stats.pool_restarts >= 1
         assert survived.records == clean.records
+        # Settle briefly: an orphaned worker from an earlier kill test may
+        # still be mid-task and holding a (soon to be cleaned) scratch dir.
+        import time
+
+        deadline = time.monotonic() + 5
+        while (
+            len(glob.glob(leak_pattern)) > leaks_before
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.1)
+        assert len(glob.glob(leak_pattern)) <= leaks_before
 
     def test_speculative_attempts_stay_bit_identical(self):
         from repro.mapreduce.faults import SlowFault

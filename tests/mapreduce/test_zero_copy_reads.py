@@ -15,6 +15,7 @@ from repro.mapreduce.serialization import (
     read_chunk_file,
     read_chunk_view,
     write_chunk_file,
+    write_spill_chunk,
 )
 from repro.mapreduce.shuffle import iter_spill_records
 
@@ -72,7 +73,7 @@ class TestReadChunkView:
         paths = []
         for start in (0, 8):
             path = tmp_path / f"part-{start}.spill"
-            write_chunk_file(path, encode_records(records[start : start + 8]))
+            write_spill_chunk(path, encode_records(records[start : start + 8]))
             paths.append(str(path))
         mark = io_meter.snapshot()
         streamed = list(iter_spill_records(paths))
