@@ -1,0 +1,364 @@
+"""P8 — sketch-pruned threshold similarity joins.
+
+The sketch subsystem (``repro.sketches``, DESIGN.md §3.1.7) builds one
+cheap per-element summary pass before job submission; reduce tasks then
+intersect each ``get_pairs`` block against a sound upper bound and skip
+pairs that provably cannot qualify.  This bench sweeps the join
+threshold over a topic-structured document workload and quantifies, per
+threshold:
+
+- evaluations actually run vs pairs pruned (the skipped ratio);
+- best-of-repeats wall clock against the unpruned ``pruning="exact"``
+  arm (speedup);
+- measured recall against :func:`brute_force_similarity` — 1.0 by
+  construction for the exact-fallback arm (sound bounds), and a real
+  measurement for the estimate arm (``exact_fallback=False``), which
+  additionally consults MinHash estimates and may drop true pairs.
+
+Writes ``results/threshold_join.txt`` and the repo-root
+``BENCH_threshold_join.json`` consumed by CI.
+
+``--guard`` replays the quick workload at threshold 0.7 and asserts
+against ``benchmarks/baselines/threshold_join.json``: recall must be
+exactly 1.0 under exact fallback and evaluations must stay under the
+committed ceiling (≤ 40% of v(v−1)/2) — the deterministic tripwire for
+"a bound got looser" or "pruning silently stopped firing".  Refresh
+with ``--write-baseline`` after an intentional sketch change.
+
+Run standalone (``--quick`` for the fast, assertion-free CI variant):
+
+    PYTHONPATH=src python benchmarks/bench_threshold_join.py [--quick|--guard]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from harness import format_table, machine_info, write_report
+
+from repro.apps.docsim import (
+    brute_force_similarity,
+    build_tfidf,
+    cosine_similarity,
+)
+from repro.core.block import BlockScheme
+from repro.core.element import results_matrix
+from repro.core.pairwise import (
+    EVALUATIONS,
+    PAIRS_PRUNED,
+    PAIRWISE_GROUP,
+    SKETCH_BYTES,
+    PairwiseComputation,
+)
+from repro.workloads.generator import make_documents
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_threshold_join.json"
+BASELINE_PATH = Path(__file__).parent / "baselines" / "threshold_join.json"
+
+# Topic-structured corpus: same-topic documents share a 20-word slice,
+# so every threshold in the sweep keeps a non-trivial pair set (the
+# similarity distribution is bimodal — cross-topic mass near 0,
+# same-topic mass above 0.6).
+NUM_DOCS = 400
+VOCABULARY = 600
+NUM_TOPICS = 30
+TOPIC_STRENGTH = 0.95
+DOC_LENGTH = 80
+SEED = 42
+NUM_BLOCKS = 8
+REPEATS = 3
+THRESHOLDS = (0.3, 0.5, 0.7, 0.9)
+
+QUICK_NUM_DOCS = 120
+QUICK_REPEATS = 1
+
+# Full-mode acceptance floors at threshold 0.7.
+MIN_SPEEDUP = 2.0
+MIN_SKIPPED = 0.55
+# Guard ceiling: evaluations at threshold 0.7 on the quick workload.
+GUARD_THRESHOLD = 0.7
+GUARD_MAX_EVAL_FRACTION = 0.40
+
+
+def make_corpus(num_docs: int) -> list:
+    documents = make_documents(
+        num_docs,
+        vocabulary=VOCABULARY,
+        num_topics=NUM_TOPICS,
+        topic_strength=TOPIC_STRENGTH,
+        length=DOC_LENGTH,
+        seed=SEED,
+    )
+    return build_tfidf(documents)
+
+
+def run_arm(vectors, threshold: float, *, repeats: int, **kwargs) -> dict:
+    """Best-of-``repeats`` cached-pipeline run; returns timings + counters."""
+    scheme = BlockScheme(len(vectors), NUM_BLOCKS)
+    best = float("inf")
+    merged = None
+    pipeline = None
+    for _ in range(repeats):
+        computation = PairwiseComputation(
+            scheme,
+            cosine_similarity,
+            threshold=threshold,
+            **kwargs,
+        )
+        start = time.perf_counter()
+        merged, pipeline = computation.run_cached(
+            list(vectors), return_pipeline=True
+        )
+        best = min(best, time.perf_counter() - start)
+    total = len(vectors) * (len(vectors) - 1) // 2
+    evaluations = pipeline.counters.get(PAIRWISE_GROUP, EVALUATIONS)
+    pruned = pipeline.counters.get(PAIRWISE_GROUP, PAIRS_PRUNED)
+    return {
+        "seconds": best,
+        "evaluations": evaluations,
+        "pairs_pruned": pruned,
+        "skipped_ratio": pruned / total,
+        "sketch_bytes": pipeline.counters.get(PAIRWISE_GROUP, SKETCH_BYTES),
+        "_pairs": results_matrix(merged),
+    }
+
+
+def recall_against(want: dict, got: dict) -> float:
+    """|found ∩ wanted| / |wanted| on pair keys; 1.0 when nothing qualifies."""
+    if not want:
+        return 1.0
+    return len(want.keys() & got.keys()) / len(want)
+
+
+def run_sweep(quick: bool = False) -> dict:
+    num_docs = QUICK_NUM_DOCS if quick else NUM_DOCS
+    repeats = QUICK_REPEATS if quick else REPEATS
+    vectors = make_corpus(num_docs)
+    total = num_docs * (num_docs - 1) // 2
+
+    sweep = []
+    for threshold in THRESHOLDS:
+        want = brute_force_similarity(vectors, threshold=threshold)
+        exact = run_arm(
+            vectors, threshold, repeats=repeats, pruning="exact"
+        )
+        sketch = run_arm(
+            vectors, threshold, repeats=repeats, pruning="sketch"
+        )
+        estimate = run_arm(
+            vectors,
+            threshold,
+            repeats=repeats,
+            pruning="sketch",
+            exact_fallback=False,
+        )
+        entry = {"threshold": threshold, "qualifying_pairs": len(want)}
+        for name, arm in (("exact", exact), ("sketch", sketch), ("estimate", estimate)):
+            pairs = arm.pop("_pairs")
+            arm["output_pairs"] = len(pairs)
+            arm["recall"] = recall_against(want, pairs)
+            arm["speedup_vs_exact"] = exact["seconds"] / arm["seconds"]
+            entry[name] = arm
+        # Conservation + soundness: the counters must tile the pair
+        # relation, and sound pruning must reproduce the oracle exactly.
+        for name in ("sketch", "estimate"):
+            assert entry[name]["evaluations"] + entry[name]["pairs_pruned"] == total, (
+                f"{name}@{threshold}: evaluations + pruned != v(v-1)/2"
+            )
+        assert entry["sketch"]["recall"] == 1.0, (
+            f"exact-fallback recall {entry['sketch']['recall']} at "
+            f"threshold {threshold} — a bound is unsound"
+        )
+        assert entry["sketch"]["output_pairs"] == len(want), (
+            f"sketch arm returned {entry['sketch']['output_pairs']} pairs, "
+            f"oracle has {len(want)} at threshold {threshold}"
+        )
+        sweep.append(entry)
+
+    metrics = {
+        "machine": machine_info(repeats=repeats),
+        "workload": {
+            "num_docs": num_docs,
+            "vocabulary": VOCABULARY,
+            "num_topics": NUM_TOPICS,
+            "topic_strength": TOPIC_STRENGTH,
+            "doc_length": DOC_LENGTH,
+            "num_blocks": NUM_BLOCKS,
+            "seed": SEED,
+            "repeats": repeats,
+            "quick": quick,
+        },
+        "total_pairs": total,
+        "sweep": sweep,
+    }
+
+    rows = [
+        [
+            f"{entry['threshold']:.1f}",
+            entry["qualifying_pairs"],
+            f"{entry['exact']['seconds']:.3f}",
+            f"{entry['sketch']['seconds']:.3f}",
+            f"{entry['sketch']['skipped_ratio']:.2%}",
+            f"{entry['sketch']['speedup_vs_exact']:.2f}x",
+            f"{entry['sketch']['recall']:.4f}",
+            f"{entry['estimate']['recall']:.4f}",
+        ]
+        for entry in sweep
+    ]
+    write_report(
+        "threshold_join",
+        f"P8 — sketch-pruned threshold join ({num_docs} docs, "
+        f"{total} pairs, best of {repeats}); exact-fallback recall 1.0 "
+        f"at every threshold",
+        format_table(
+            [
+                "threshold",
+                "qualifying",
+                "exact s",
+                "sketch s",
+                "skipped",
+                "speedup",
+                "recall",
+                "est. recall",
+            ],
+            rows,
+        ),
+    )
+    JSON_PATH.write_text(json.dumps(metrics, indent=2) + "\n")
+
+    if not quick:
+        at_07 = next(e for e in sweep if e["threshold"] == 0.7)
+        assert at_07["sketch"]["speedup_vs_exact"] >= MIN_SPEEDUP, (
+            f"sketch arm only {at_07['sketch']['speedup_vs_exact']:.2f}x "
+            f"vs exact at threshold 0.7 (floor {MIN_SPEEDUP}x)"
+        )
+        assert at_07["sketch"]["skipped_ratio"] >= MIN_SKIPPED, (
+            f"only {at_07['sketch']['skipped_ratio']:.2%} of pairs skipped "
+            f"at threshold 0.7 (floor {MIN_SKIPPED:.0%})"
+        )
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Counter-regression guard (CI lane).
+# ---------------------------------------------------------------------------
+
+
+def guard_measurements() -> dict:
+    """Deterministic quick-workload counters at the guard threshold."""
+    vectors = make_corpus(QUICK_NUM_DOCS)
+    total = QUICK_NUM_DOCS * (QUICK_NUM_DOCS - 1) // 2
+    want = brute_force_similarity(vectors, threshold=GUARD_THRESHOLD)
+    arm = run_arm(vectors, GUARD_THRESHOLD, repeats=1, pruning="sketch")
+    pairs = arm.pop("_pairs")
+    return {
+        "evaluations": arm["evaluations"],
+        "pairs_pruned": arm["pairs_pruned"],
+        "total_pairs": total,
+        "sketch_bytes": arm["sketch_bytes"],
+        "recall": recall_against(want, pairs),
+        "output_pairs": len(pairs),
+        "qualifying_pairs": len(want),
+    }
+
+
+def write_baseline() -> dict:
+    measured = guard_measurements()
+    baseline = {
+        "workload": {
+            "num_docs": QUICK_NUM_DOCS,
+            "vocabulary": VOCABULARY,
+            "num_topics": NUM_TOPICS,
+            "topic_strength": TOPIC_STRENGTH,
+            "doc_length": DOC_LENGTH,
+            "threshold": GUARD_THRESHOLD,
+            "seed": SEED,
+        },
+        "measured": measured,
+        "ceilings": {
+            # The hard acceptance line: at threshold 0.7 the sketch must
+            # eliminate ≥ 60% of the pair relation.  Counter values are
+            # seed-deterministic, so a modest margin over the measured
+            # count still trips on any real bound loosening.
+            "evaluations": min(
+                int(measured["evaluations"] * 1.25),
+                int(measured["total_pairs"] * GUARD_MAX_EVAL_FRACTION),
+            ),
+            "max_eval_fraction": GUARD_MAX_EVAL_FRACTION,
+            "sketch_bytes": int(measured["sketch_bytes"] * 1.5),
+        },
+    }
+    BASELINE_PATH.parent.mkdir(exist_ok=True)
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    return baseline
+
+
+def run_guard() -> dict:
+    baseline = json.loads(BASELINE_PATH.read_text())
+    ceilings = baseline["ceilings"]
+    measured = guard_measurements()
+    failures = []
+    if measured["recall"] != 1.0:
+        failures.append(
+            f"exact-fallback recall {measured['recall']} != 1.0 — "
+            "a sketch bound dropped a qualifying pair"
+        )
+    if measured["output_pairs"] != measured["qualifying_pairs"]:
+        failures.append(
+            f"output {measured['output_pairs']} pairs, oracle has "
+            f"{measured['qualifying_pairs']}"
+        )
+    if measured["evaluations"] > ceilings["evaluations"]:
+        failures.append(
+            f"evaluations {measured['evaluations']} exceeds ceiling "
+            f"{ceilings['evaluations']} "
+            f"(of {measured['total_pairs']} total pairs)"
+        )
+    if measured["evaluations"] + measured["pairs_pruned"] != measured["total_pairs"]:
+        failures.append(
+            "conservation violated: evaluations + pairs_pruned != v(v-1)/2"
+        )
+    if measured["sketch_bytes"] > ceilings.get("sketch_bytes", float("inf")):
+        failures.append(
+            f"sketch_bytes {measured['sketch_bytes']} exceeds ceiling "
+            f"{ceilings['sketch_bytes']}"
+        )
+    assert not failures, "; ".join(failures)
+    return {"measured": measured, "ceilings": ceilings}
+
+
+def test_threshold_join(benchmark):
+    metrics = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    at_07 = next(e for e in metrics["sweep"] if e["threshold"] == 0.7)
+    assert at_07["sketch"]["recall"] == 1.0
+    assert at_07["sketch"]["speedup_vs_exact"] >= MIN_SPEEDUP
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload, single repeat, no perf assertions (CI artifact mode)",
+    )
+    parser.add_argument(
+        "--guard",
+        action="store_true",
+        help="assert counters against baselines/threshold_join.json ceilings",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="re-measure and rewrite the guard baseline",
+    )
+    arguments = parser.parse_args()
+    if arguments.write_baseline:
+        print(json.dumps(write_baseline(), indent=2))
+    elif arguments.guard:
+        print(json.dumps(run_guard(), indent=2))
+    else:
+        print(json.dumps(run_sweep(quick=arguments.quick), indent=2))

@@ -19,6 +19,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..kernels import register_comp
+from ..sketches import register_sketch
 
 
 def row_inner_product(a: np.ndarray, b: np.ndarray) -> float:
@@ -29,6 +30,10 @@ def row_inner_product(a: np.ndarray, b: np.ndarray) -> float:
 # With kernel="auto", pairwise batches row dot products through the
 # covariance kernel (BLAS gram product on dense working sets).
 register_comp(row_inner_product, "covariance")
+
+# With pruning="sketch", thresholded covariance entries bound the dot
+# product via the projection sketch (coords dot + residual Cauchy-Schwarz).
+register_sketch(row_inner_product, "dense-dot")
 
 
 def center_rows(matrix: np.ndarray) -> list[np.ndarray]:

@@ -25,11 +25,11 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..core.aggregate import ThresholdAggregator
 from ..core.element import Element
 from ..core.pairwise import PairwiseComputation
 from ..core.scheme import DistributionScheme
 from ..kernels import register_comp
+from ..sketches import register_sketch
 
 NOISE = -1
 
@@ -43,6 +43,10 @@ def euclidean_distance(a: np.ndarray, b: np.ndarray) -> float:
 # With kernel="auto", pairwise batches distance evaluation over ndarray
 # payloads through the dense euclidean kernel.
 register_comp(euclidean_distance, "dense-euclidean")
+
+# With pruning="sketch", threshold/top-k runs bound the distance two-sided
+# via an orthonormal projection sketch.
+register_sketch(euclidean_distance, "dense-euclidean")
 
 
 @dataclass(frozen=True)
@@ -106,19 +110,27 @@ def dbscan_pairwise(
     *,
     engine=None,
     use_local: bool = False,
+    pruning: str = "off",
+    sketch_params=None,
 ) -> DBSCANResult:
     """Full DBSCAN via the parallel pairwise pipeline under ``scheme``.
 
     ``use_local=True`` skips the MR machinery (same semantics, faster for
     big in-process runs); otherwise the two-job pipeline runs on
     ``engine`` (default serial).
+
+    ``pruning="sketch"`` skips pairs whose projection-sketch distance
+    lower bound already reaches ε — a sound bound, so the clustering is
+    identical to the unpruned run (``use_local=True`` never prunes).
     """
     if eps <= 0:
         raise ValueError(f"eps must be positive, got {eps}")
     computation = PairwiseComputation(
         scheme,
         euclidean_distance,
-        aggregator=ThresholdAggregator(eps, keep_below=True),
+        threshold=eps,
+        pruning=pruning,
+        sketch_params=sketch_params,
         engine=engine,
     )
     merged: dict[int, Element]

@@ -20,6 +20,7 @@ can compare shuffle volumes and evaluation counts, not just results.
 
 from __future__ import annotations
 
+import heapq
 import math
 import re
 from collections import Counter, defaultdict
@@ -29,6 +30,7 @@ from ..kernels import register_comp
 from ..mapreduce.job import Context, Job, Mapper, Reducer
 from ..mapreduce.pipeline import Pipeline
 from ..mapreduce.runtime import Engine, SerialEngine
+from ..sketches import register_sketch
 
 TfIdfVector = dict[str, float]
 
@@ -83,6 +85,10 @@ def cosine_similarity(a: Mapping[str, float], b: Mapping[str, float]) -> float:
 # through the CSR sparse-matrix kernel instead of one cosine per call.
 register_comp(cosine_similarity, "csr-cosine")
 
+# With pruning="sketch", threshold runs bound the sparse dot product by
+# per-bucket norms (heavy-hitter terms isolated via count-min).
+register_sketch(cosine_similarity, "sparse-cosine")
+
 
 def pairwise_similarity(
     vectors: Sequence[TfIdfVector],
@@ -91,6 +97,10 @@ def pairwise_similarity(
     engine: Engine | None = None,
     kernel: object = "auto",
     num_reduce_tasks: int | None = None,
+    threshold: float | None = None,
+    pruning: str = "off",
+    exact_fallback: bool = True,
+    sketch_params: Mapping[str, object] | None = None,
 ) -> dict[tuple[int, int], float]:
     """All-pairs cosine through the generic pairwise pipeline, vectorized.
 
@@ -100,6 +110,13 @@ def pairwise_similarity(
     ``(i, j) → cosine`` map (i > j, 1-indexed), directly comparable to
     :func:`elsayed_similarity` and :func:`brute_force_similarity`.  Pass
     ``kernel=None`` to force the scalar pair loop.
+
+    ``threshold=`` turns this into a similarity join: only pairs with
+    cosine above the threshold are returned (the
+    :func:`brute_force_similarity` contract), and ``pruning="sketch"``
+    skips pairs whose bucket-norm bound proves they cannot qualify —
+    with ``exact_fallback=True`` (default) the result is identical to
+    the unpruned join (DESIGN.md §3.1.7).
     """
     from ..core.element import results_matrix
     from ..core.pairwise import PairwiseComputation
@@ -110,6 +127,10 @@ def pairwise_similarity(
         engine=engine,
         kernel=kernel,
         num_reduce_tasks=num_reduce_tasks,
+        threshold=threshold,
+        pruning=pruning,
+        exact_fallback=exact_fallback,
+        sketch_params=sketch_params,
     )
     return results_matrix(computation.run_cached(list(vectors)))
 
@@ -218,5 +239,6 @@ def most_similar(
             scores[j] = max(scores[j], sim)
         elif j == doc:
             scores[i] = max(scores[i], sim)
-    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
-    return ranked[:k]
+    # heapq.nlargest is O(v log k) vs O(v log v) for a full sort; the key
+    # (sim, -id) reproduces the historical (-sim, id) ascending order.
+    return heapq.nlargest(k, scores.items(), key=lambda item: (item[1], -item[0]))

@@ -15,12 +15,12 @@ each endpoint is in the other's top-k) and an exact brute-force oracle.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..core.aggregate import TopKAggregator
 from ..core.pairwise import PairwiseComputation
 from ..core.scheme import DistributionScheme
 from .dbscan import euclidean_distance
@@ -78,12 +78,21 @@ def knn_graph(
     engine=None,
     kernel=None,
     use_local: bool = False,
+    pruning: str = "off",
+    sketch_params=None,
 ) -> KnnGraph:
     """Build the kNN graph through the pairwise pipeline under ``scheme``.
 
     ``kernel`` is forwarded to :class:`PairwiseComputation`; pass
     ``"auto"`` (or ``"dense-euclidean"``) to batch distance evaluation
     through the vectorized kernel instead of one call per pair.
+
+    ``pruning="sketch"`` routes the run through the top-k pruner: pairs
+    whose projection-sketch distance lower bound exceeds both endpoints'
+    k-th-best upper bound are skipped before kernel dispatch.  The
+    top-k bounds are always sound, so the graph is identical to the
+    unpruned one (``use_local=True`` never prunes — it is the
+    reference).
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -92,7 +101,9 @@ def knn_graph(
     computation = PairwiseComputation(
         scheme,
         euclidean_distance,
-        aggregator=TopKAggregator(k, smallest=True),
+        top_k=k,
+        pruning=pruning,
+        sketch_params=sketch_params,
         engine=engine,
         kernel=kernel,
     )
@@ -101,8 +112,12 @@ def knn_graph(
         if use_local
         else computation.run(list(points))
     )
+    # O(k' log k) selection; the aggregator already capped results at k,
+    # and nsmallest sorts ties exactly like the historical full sort.
     neighbors = {
-        eid: tuple(sorted(element.results.items(), key=lambda kv: (kv[1], kv[0])))
+        eid: tuple(
+            heapq.nsmallest(k, element.results.items(), key=lambda kv: (kv[1], kv[0]))
+        )
         for eid, element in merged.items()
     }
     return KnnGraph(k=k, neighbors=neighbors)

@@ -21,6 +21,7 @@ boundaries intact.
 
 from __future__ import annotations
 
+import heapq
 import operator
 from typing import Any, Callable, Iterable, Sequence
 
@@ -98,12 +99,16 @@ class TopKAggregator:
     def __call__(self, copies: Sequence[Element]) -> Element:
         merged = merge_copies(copies)
         extract = self.key or (lambda value: value)
-        ranked = sorted(
+        # Heap selection is O(v log k) instead of O(v log v); nsmallest /
+        # nlargest under the (value, id) key keep exactly the pairs the
+        # historical full sort kept, ties included.
+        select = heapq.nsmallest if self.smallest else heapq.nlargest
+        ranked = select(
+            self.k,
             merged.results.items(),
             key=lambda item: (extract(item[1]), item[0]),
-            reverse=not self.smallest,
         )
-        merged.results = dict(ranked[: self.k])
+        merged.results = dict(ranked)
         return merged
 
 

@@ -43,12 +43,29 @@ from __future__ import annotations
 
 from typing import Any, Callable, Mapping, Sequence
 
+import numpy as np
+
 from ..kernels import pair_index_array, resolve_kernel
 from ..mapreduce.job import Context, Job, Mapper, Reducer
 from ..mapreduce.pipeline import Pipeline, PipelineResult
 from ..mapreduce.runtime import Engine, MultiprocessEngine, SerialEngine
 from ..mapreduce.serialization import record_size
-from .aggregate import Aggregator, ConcatAggregator
+from ..sketches import (
+    DISTANCE_KINDS,
+    PRUNING_MODES,
+    PairPruner,
+    ThresholdPruner,
+    TopKPruner,
+    build_sketches,
+    build_topk_taus,
+    sketch_kind_for_comp,
+)
+from .aggregate import (
+    Aggregator,
+    ConcatAggregator,
+    ThresholdAggregator,
+    TopKAggregator,
+)
 from .broadcast import BroadcastScheme
 from .element import Element, merge_copies
 from .scheme import DistributionScheme
@@ -61,6 +78,14 @@ EVALUATIONS = "evaluations"
 REPLICAS_EMITTED = "replicas_emitted"
 MAX_WORKING_SET_RECORDS = "max_working_set_records"
 MAX_WORKING_SET_BYTES = "max_working_set_bytes"
+#: pairs dropped by the sketch pruner before kernel dispatch;
+#: EVALUATIONS + PAIRS_PRUNED == v(v−1)/2 on every symmetric pruned run
+PAIRS_PRUNED = "pairs_pruned"
+#: sketch-suite footprint gauge (max across tasks; it is one shared object)
+SKETCH_BYTES = "max_sketch_bytes"
+#: survivors of a threshold pruner whose true score then failed the
+#: threshold anyway — the bound's looseness, measured
+PRUNE_FALSE_POSITIVES = "prune_false_positives"
 
 
 class DistributeMapper(Mapper):
@@ -71,6 +96,51 @@ class DistributeMapper(Mapper):
         for subset_id in scheme.get_subsets(value.eid):
             context.emit(subset_id, value.copy_without_results())
             context.counters.increment(PAIRWISE_GROUP, REPLICAS_EMITTED)
+
+
+def _apply_pruner(
+    pairs: Sequence[tuple[int, int]], context: Context
+) -> Sequence[tuple[int, int]]:
+    """Intersect a working set's pair block with the configured pruner.
+
+    No-op without a ``config["pruner"]``.  The pruner and the sketch
+    suite (``cache["sketches"]``) are both built driver-side before job
+    submission, so the surviving subset is a pure function of the pair
+    block — identical across workers, retries and speculative attempts.
+    Meters ``PAIRS_PRUNED`` (the skipped evaluations) and the
+    ``SKETCH_BYTES`` footprint gauge.
+    """
+    pruner: PairPruner | None = context.config.get("pruner")
+    if pruner is None or not pairs:
+        return pairs
+    suite = context.cache_file("sketches")
+    context.counters.set_max(PAIRWISE_GROUP, SKETCH_BYTES, suite.nbytes)
+    keep = pruner.keep_mask(suite, pair_index_array(pairs))
+    kept = int(np.count_nonzero(keep))
+    if kept != len(pairs):
+        context.counters.increment(
+            PAIRWISE_GROUP, PAIRS_PRUNED, len(pairs) - kept
+        )
+        pairs = [pair for pair, flag in zip(pairs, keep) if flag]
+    return pairs
+
+
+def _meter_false_positives(
+    forward: Sequence[Any], context: Context
+) -> None:
+    """Count threshold-pruner survivors whose true score failed anyway."""
+    pruner = context.config.get("pruner")
+    threshold = getattr(pruner, "threshold", None)
+    if threshold is None:
+        return
+    if pruner.keep_below:
+        misses = sum(1 for value in forward if not value < threshold)
+    else:
+        misses = sum(1 for value in forward if not value > threshold)
+    if misses:
+        context.counters.increment(
+            PAIRWISE_GROUP, PRUNE_FALSE_POSITIVES, misses
+        )
 
 
 def _evaluate_pairs(
@@ -95,6 +165,7 @@ def _evaluate_pairs(
     block = pair_index_array(pairs)
     forward = kernel.evaluate_block(payloads, block)
     context.counters.increment(PAIRWISE_GROUP, EVALUATIONS, len(pairs))
+    _meter_false_positives(forward, context)
     if symmetric:
         return forward, forward
     backward = kernel.evaluate_block(payloads, block[:, ::-1])
@@ -148,7 +219,7 @@ class ComputeReducer(Reducer):
             MAX_WORKING_SET_BYTES,
             sum(self._element_size(el) for el in elements.values()),
         )
-        pairs = scheme.get_pairs(key, member_ids)
+        pairs = _apply_pruner(scheme.get_pairs(key, member_ids), context)
         if pairs:
             payloads = {eid: el.payload for eid, el in elements.items()}
             forward, backward = _evaluate_pairs(pairs, payloads, context)
@@ -224,7 +295,7 @@ class CachedComputeReducer(Reducer):
             MAX_WORKING_SET_BYTES,
             sum(self._payload_size(eid, payloads) for eid in member_ids),
         )
-        pairs = scheme.get_pairs(key, member_ids)
+        pairs = _apply_pruner(scheme.get_pairs(key, member_ids), context)
         if pairs:
             forward, backward = _evaluate_pairs(pairs, payloads, context)
             for (i, j), fwd, bwd in zip(pairs, forward, backward):
@@ -272,7 +343,7 @@ class BroadcastPairMapper(Mapper):
     def map(self, key: int, value: Any, context: Context) -> None:
         scheme: BroadcastScheme = context.config["scheme"]
         payloads: Mapping[int, Any] = context.cache_file("dataset")
-        pairs = scheme.get_pairs(key)
+        pairs = _apply_pruner(scheme.get_pairs(key), context)
         if not pairs:
             return
         forward, backward = _evaluate_pairs(pairs, payloads, context)
@@ -361,6 +432,35 @@ class PairwiseComputation:
         :func:`repro.mapreduce.journal.resume_job`.  Composes with
         ``data_plane``; raises with an explicit ``engine``, like the
         other engine-construction knobs.
+    threshold, top_k:
+        Declarative objective (mutually exclusive): keep only results
+        passing ``threshold``, or each element's ``top_k`` best.  The
+        matching aggregator is built automatically — a
+        :class:`~repro.core.aggregate.ThresholdAggregator` /
+        :class:`~repro.core.aggregate.TopKAggregator` oriented by the
+        comp's registered sketch kind (distances keep below / smallest,
+        similarities above / largest; see
+        :func:`repro.sketches.register_sketch`) — so passing an explicit
+        ``aggregator`` alongside either knob raises.  Declaring the
+        objective is what lets ``pruning="sketch"`` skip evaluations.
+    pruning:
+        ``"off"`` (default) evaluates every pair; ``"sketch"`` builds a
+        :class:`~repro.sketches.SketchSuite` driver-side, ships it in
+        the distributed cache, and drops pairs whose bounds prove they
+        cannot pass the objective *before* kernel dispatch (requires
+        ``symmetric=True`` and a sketch-registered comp); ``"exact"``
+        names the reference arm — every pair evaluated, the objective
+        applied in aggregation only (identical to ``"off"`` plus an
+        objective; benches compare ``"sketch"`` against it).
+    exact_fallback:
+        ``True`` (default) restricts pruning to **sound** bounds: the
+        pruned output is identical to the unpruned run (DESIGN.md
+        §3.1.7's recall proof).  ``False`` additionally prunes on the
+        MinHash overlap estimate with a safety ``margin``
+        (``sketch_params``) — more pruning, recall no longer guaranteed.
+    sketch_params:
+        Extra keyword arguments for the sketch builders (``num_buckets``,
+        ``proj_dim``, ``seed``, …) plus ``margin`` for estimate mode.
     """
 
     def __init__(
@@ -379,11 +479,63 @@ class PairwiseComputation:
         trace_sink: Any = None,
         data_plane: str | None = None,
         journal_dir: Any = None,
+        threshold: float | None = None,
+        top_k: int | None = None,
+        pruning: str = "off",
+        exact_fallback: bool = True,
+        sketch_params: Mapping[str, Any] | None = None,
     ):
         self.scheme = scheme
         self.comp = comp
         self.symmetric = symmetric
         self.kernel = kernel
+        if pruning not in PRUNING_MODES:
+            raise ValueError(
+                f"pruning must be one of {PRUNING_MODES}, got {pruning!r}"
+            )
+        if threshold is not None and top_k is not None:
+            raise ValueError("threshold and top_k are mutually exclusive")
+        if pruning != "off" and threshold is None and top_k is None:
+            raise ValueError(
+                f"pruning={pruning!r} needs a threshold= or top_k= objective"
+            )
+        self.threshold = threshold
+        self.top_k = top_k
+        self.pruning = pruning
+        self.exact_fallback = exact_fallback
+        self.sketch_params = dict(sketch_params or {})
+        self._sketch_kind: str | None = None
+        if threshold is not None or top_k is not None:
+            if aggregator is not None:
+                raise ValueError(
+                    "threshold=/top_k= build their own aggregator; drop the "
+                    "explicit aggregator (or apply the objective yourself)"
+                )
+            kind = sketch_kind_for_comp(comp)
+            if kind is None:
+                raise ValueError(
+                    f"{getattr(comp, '__name__', comp)!r} has no registered "
+                    "sketch kind, so the objective's orientation is unknown; "
+                    "call repro.sketches.register_sketch(comp, kind) or pass "
+                    "an explicit aggregator without threshold=/top_k="
+                )
+            keep_below = kind in DISTANCE_KINDS
+            if pruning == "sketch":
+                if not symmetric:
+                    raise ValueError(
+                        "sketch pruning requires symmetric=True (one sound "
+                        "decision must cover both orientations)"
+                    )
+                if top_k is not None and not keep_below:
+                    raise NotImplementedError(
+                        "top-k pruning is implemented for distance sketches "
+                        f"only; {kind!r} is a similarity kind"
+                    )
+                self._sketch_kind = kind
+            if threshold is not None:
+                aggregator = ThresholdAggregator(threshold, keep_below=keep_below)
+            else:
+                aggregator = TopKAggregator(top_k, smallest=keep_below)
         self.aggregator = aggregator or ConcatAggregator()
         if engine is not None and (
             scheduling_policy is not None
@@ -422,6 +574,44 @@ class PairwiseComputation:
     def _job_config(self, **app_keys: Any) -> dict[str, Any]:
         """Runtime knobs first, application keys on top (apps win)."""
         return {**self.runtime_config, **app_keys}
+
+    def _build_pruning(
+        self, payloads: Mapping[int, Any]
+    ) -> tuple[Any, PairPruner] | None:
+        """Sketch suite + pruner for one run, or None when pruning is off.
+
+        Built driver-side exactly once per run and shipped through the
+        distributed cache / job config, so every task attempt — retries
+        and speculative launches included — prunes against the same
+        frozen state.
+        """
+        if self.pruning != "sketch":
+            return None
+        params = {
+            key: value
+            for key, value in self.sketch_params.items()
+            if key != "margin"
+        }
+        if (
+            self._sketch_kind == "sparse-cosine"
+            and self.exact_fallback
+            and "num_hashes" not in params
+        ):
+            # Sound mode never consults MinHash; skip the signature build.
+            params["num_hashes"] = 0
+        suite = build_sketches(payloads, self._sketch_kind, **params)
+        if self.top_k is not None:
+            pruner: PairPruner = TopKPruner(
+                self.top_k, build_topk_taus(suite, self.top_k)
+            )
+        else:
+            pruner = ThresholdPruner(
+                self.threshold,
+                keep_below=self._sketch_kind in DISTANCE_KINDS,
+                estimate=not self.exact_fallback,
+                margin=self.sketch_params.get("margin", 0.15),
+            )
+        return suite, pruner
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
@@ -500,6 +690,13 @@ class PairwiseComputation:
         """
         elements = self._as_elements(dataset)
         job1, job2 = self.build_jobs()
+        pruning = self._build_pruning(
+            {element.eid: element.payload for element in elements}
+        )
+        if pruning is not None:
+            suite, pruner = pruning
+            job1.config = {**job1.config, "pruner": pruner}
+            job1.cache = {**job1.cache, "sketches": suite}
         pipeline = Pipeline([job1, job2], engine=self.engine)
         input_records = [(element.eid, element) for element in elements]
         result = pipeline.run(
@@ -540,6 +737,12 @@ class PairwiseComputation:
             symmetric=self.symmetric,
             kernel=self.kernel,
         )
+        pruning = self._build_pruning(payloads)
+        if pruning is not None:
+            suite, pruner = pruning
+            # Same cache dict for both jobs → one broadcast / shm segment.
+            cache["sketches"] = suite
+            config = {**config, "pruner": pruner}
         job1 = Job(
             name="pairwise-distribute-compute-cached",
             mapper=CachedDistributeMapper,
@@ -587,19 +790,26 @@ class PairwiseComputation:
             )
         elements = self._as_elements(dataset)
         payloads = {element.eid: element.payload for element in elements}
+        cache = {"dataset": payloads}
+        config = self._job_config(
+            scheme=self.scheme,
+            comp=self.comp,
+            aggregator=self.aggregator,
+            symmetric=self.symmetric,
+            kernel=self.kernel,
+        )
+        pruning = self._build_pruning(payloads)
+        if pruning is not None:
+            suite, pruner = pruning
+            cache["sketches"] = suite
+            config = {**config, "pruner": pruner}
         job = Job(
             name="pairwise-broadcast",
             mapper=BroadcastPairMapper,
             reducer=BroadcastAggregateReducer,
             num_reducers=self.num_reduce_tasks,
-            cache={"dataset": payloads},
-            config=self._job_config(
-                scheme=self.scheme,
-                comp=self.comp,
-                aggregator=self.aggregator,
-                symmetric=self.symmetric,
-                kernel=self.kernel,
-            ),
+            cache=cache,
+            config=config,
             max_attempts=self.max_attempts,
         )
         # One input record per task; one split per task mirrors Hadoop's
@@ -616,7 +826,10 @@ class PairwiseComputation:
 
         Step 1 builds the working sets, step 2 evaluates each pair relation
         on copies, step 3 merges copies per element — exactly the semantics
-        of the two-job pipeline, minus serialization.
+        of the two-job pipeline, minus serialization.  Pruning is never
+        applied here: this is the reference every pruned path is compared
+        against (the threshold/top-k objective still applies, through the
+        aggregator).
         """
         elements = self._as_elements(dataset)
         by_id = {element.eid: element for element in elements}

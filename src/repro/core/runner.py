@@ -61,6 +61,11 @@ def auto_pairwise(
     trace_sink=None,
     data_plane: str | None = None,
     journal_dir=None,
+    threshold: float | None = None,
+    top_k: int | None = None,
+    pruning: str = "off",
+    exact_fallback: bool = True,
+    sketch_params=None,
 ) -> tuple[dict[int, Element], SchemeChoice]:
     """Evaluate all pairs of ``dataset`` under an auto-chosen scheme.
 
@@ -80,6 +85,12 @@ def auto_pairwise(
     require ``auto_engine=True``, since only a pooled engine has a
     broadcast data plane to pick or a direct shuffle to journal —
     ``journal_dir`` forces the pooled engine regardless of scale).
+
+    ``threshold`` / ``top_k`` / ``pruning`` / ``exact_fallback`` /
+    ``sketch_params`` forward to :class:`PairwiseComputation` on flat
+    schemes — the declarative objective plus sketch-based candidate
+    pruning (DESIGN.md §3.1.7).  Hierarchical schedules raise
+    ``NotImplementedError`` for them.
     """
     if len(dataset) < 2:
         raise ValueError("pairwise computation needs at least two elements")
@@ -108,6 +119,11 @@ def auto_pairwise(
         if not symmetric:
             raise NotImplementedError(
                 "hierarchical schedules currently run symmetric functions only"
+            )
+        if threshold is not None or top_k is not None or pruning != "off":
+            raise NotImplementedError(
+                "hierarchical schedules do not support threshold=/top_k=/"
+                "pruning yet; pick a flat scheme (raise maxws) for pruned runs"
             )
         if engine is not None:
             # Round-by-round MR execution: a persistent-pool engine reuses
@@ -144,6 +160,11 @@ def auto_pairwise(
                 symmetric=symmetric,
                 scheduling_policy=scheduling_policy,
                 trace_sink=trace_sink,
+                threshold=threshold,
+                top_k=top_k,
+                pruning=pruning,
+                exact_fallback=exact_fallback,
+                sketch_params=sketch_params,
             )
             merged = computation.run(list(dataset))
         finally:

@@ -1,0 +1,55 @@
+"""Sketch-kind registry: pair function → summary family.
+
+Mirrors the kernel registry (:mod:`repro.kernels.registry`): apps bind
+their pair functions to a sketch kind at import time, and
+``PairwiseComputation(threshold=... / top_k=...)`` resolves the kind —
+which also tells it whether the objective is a distance (keep below)
+or a similarity (keep above).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from .base import SketchSuite
+from .builders import build_dense_sketch, build_sparse_cosine_sketch
+
+SPARSE_COSINE = "sparse-cosine"
+DENSE_COSINE = "dense-cosine"
+DENSE_DOT = "dense-dot"
+DENSE_EUCLIDEAN = "dense-euclidean"
+
+SKETCH_KINDS = (SPARSE_COSINE, DENSE_COSINE, DENSE_DOT, DENSE_EUCLIDEAN)
+
+#: kinds whose score is a distance — threshold keeps *below*, top-k keeps smallest
+DISTANCE_KINDS = frozenset({DENSE_EUCLIDEAN})
+
+_SKETCH_BINDINGS: dict[Any, str] = {}
+
+
+def register_sketch(comp: Callable[[Any, Any], Any], kind: str) -> None:
+    """Bind a pair function to the sketch kind that bounds it."""
+    if kind not in SKETCH_KINDS:
+        raise ValueError(
+            f"unknown sketch kind {kind!r}; known kinds: {SKETCH_KINDS}"
+        )
+    _SKETCH_BINDINGS[comp] = kind
+
+
+def sketch_kind_for_comp(comp: Callable[[Any, Any], Any]) -> str | None:
+    """The registered sketch kind for ``comp``, or None."""
+    try:
+        return _SKETCH_BINDINGS.get(comp)
+    except TypeError:  # unhashable callable
+        return None
+
+
+def build_sketches(
+    payloads: Mapping[int, Any], kind: str, **params: Any
+) -> SketchSuite:
+    """Build the suite for one payload store under the named kind."""
+    if kind == SPARSE_COSINE:
+        return build_sparse_cosine_sketch(payloads, **params)
+    if kind in (DENSE_COSINE, DENSE_DOT, DENSE_EUCLIDEAN):
+        return build_dense_sketch(payloads, kind, **params)
+    raise ValueError(f"unknown sketch kind {kind!r}; known kinds: {SKETCH_KINDS}")

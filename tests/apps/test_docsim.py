@@ -154,3 +154,17 @@ class TestMostSimilar:
     def test_k_cap(self):
         sims = {(2, 1): 0.9, (3, 1): 0.5}
         assert len(most_similar(sims, 1, k=1)) == 1
+
+    def test_heap_selection_identical_to_full_sort(self):
+        # Tied similarities on purpose: the heap path must reproduce the
+        # historical sorted(key=(-sim, id))[:k] order exactly.
+        sims = {
+            (doc, 1): [0.9, 0.5, 0.9, 0.2, 0.5][doc - 2]
+            for doc in range(2, 7)
+        }
+        scores = {doc: sim for (doc, _), sim in sims.items()}
+        for k in (1, 2, 3, 10):
+            want = sorted(
+                scores.items(), key=lambda item: (-item[1], item[0])
+            )[:k]
+            assert most_similar(sims, 1, k=k) == want

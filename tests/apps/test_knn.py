@@ -31,6 +31,17 @@ class TestConstruction:
         got = knn_graph(points, 3, CyclicDesignScheme(30), use_local=True)
         assert got.neighbors == ref.neighbors
 
+    def test_tied_distances_match_reference(self):
+        # Symmetric 1-D points produce exact distance ties; the heap
+        # selection must break them like the reference's full sort
+        # (ascending partner id).
+        import numpy as np
+
+        tied = [np.array([float(x)]) for x in (0, 1, -1, 2, -2, 3, -3, 4)]
+        ref = knn_reference(tied, k=3)
+        got = knn_graph(tied, 3, BlockScheme(len(tied), 2))
+        assert got.neighbors == ref.neighbors
+
     def test_every_node_has_k_neighbors(self, points):
         graph = knn_reference(points, k=5)
         assert all(len(partners) == 5 for partners in graph.neighbors.values())

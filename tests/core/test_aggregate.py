@@ -79,6 +79,22 @@ class TestTopK:
         with pytest.raises(ValueError):
             TopKAggregator(0)
 
+    @pytest.mark.parametrize("smallest", [True, False])
+    @pytest.mark.parametrize("k", [1, 3, 7, 20])
+    def test_heap_selection_identical_to_full_sort(self, smallest, k):
+        # The heap path must keep exactly the pairs the historical full
+        # sort kept — ties included (values repeat on purpose).
+        results = {
+            partner: float((partner * 3) % 5) for partner in range(2, 20)
+        }
+        merged = TopKAggregator(k, smallest=smallest)(_copies([results]))
+        ranked = sorted(
+            results.items(),
+            key=lambda item: (item[1], item[0]),
+            reverse=not smallest,
+        )
+        assert merged.results == dict(ranked[:k])
+
 
 class TestReduce:
     def test_sum(self):
