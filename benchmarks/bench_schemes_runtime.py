@@ -15,6 +15,7 @@ from repro.core.block import BlockScheme
 from repro.core.broadcast import BroadcastScheme
 from repro.core.design import DesignScheme
 from repro.core.pairwise import PairwiseComputation
+from repro.core.quorum import QuorumScheme
 from repro.mapreduce.counters import FRAMEWORK_GROUP, SHUFFLE_RECORDS
 
 V = 120
@@ -67,6 +68,15 @@ def test_runtime_design(benchmark):
     _check(merged, pipeline, scheme, expected, rows)
 
 
+def test_runtime_quorum(benchmark):
+    # v=120 is off-plane, so this is also the honest losing case: the
+    # greedy cover (|D|=14) replicates more than the padded design (12).
+    scheme = QuorumScheme(V)
+    merged, pipeline = benchmark(run_pipeline, scheme)
+    rows: list = []
+    _check(merged, pipeline, scheme, V * scheme.cover.size, rows)
+
+
 def test_runtime_broadcast_one_job(benchmark):
     """The §5.1 one-job optimization must beat the generic two-job form on
     shuffle volume: results-only records instead of element replicas."""
@@ -95,16 +105,19 @@ def test_write_runtime_report(benchmark):
 
     def run_all():
         rows = []
+        reports = []
         for scheme, expected in [
             (BroadcastScheme(V, 8), V * 8),
             (BlockScheme(V, 8), V * 8),
             (DesignScheme(V), sum(len(b) for b in DesignScheme(V).blocks)),
+            (QuorumScheme(V), V * QuorumScheme(V).cover.size),
         ]:
             merged, pipeline = run_pipeline(scheme)
             _check(merged, pipeline, scheme, expected, rows)
-        return rows
+            reports.append(scheme.replication_report().summary())
+        return rows, reports
 
-    rows = benchmark(run_all)
+    rows, reports = benchmark(run_all)
     write_report(
         "schemes_runtime",
         f"A2 — two-job pipeline on the MR engine (v={V}); shuffle records "
@@ -112,5 +125,7 @@ def test_write_runtime_report(benchmark):
         format_table(
             ["scheme", "replicas/leg", "measured 2-leg shuffle", "Table-1 comm"],
             rows,
-        ),
+        )
+        + "\n\nreplication vs lower bound:\n"
+        + "\n".join(reports),
     )

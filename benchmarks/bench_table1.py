@@ -44,14 +44,14 @@ def test_table1_closed_forms_match_constructions(benchmark):
     rows = benchmark(build_table1)
     broadcast, block, design = rows
 
-    # Closed forms agree with constructed schemes (broadcast/block exactly).
+    # Closed forms agree with constructed schemes (broadcast/block exactly;
+    # the default padded design row tracks the real padded construction to
+    # within the truncation loss, not the old √v approximation).
     assert broadcast == broadcast_row(V, P)
     assert block == block_row(V, H)
     approx = design_row(V, num_nodes=P)
-    assert math.isclose(design.replication_factor, approx.replication_factor, rel_tol=0.35)
-    assert math.isclose(
-        design.working_set_elements, approx.working_set_elements, rel_tol=0.35
-    )
+    assert math.isclose(design.replication_factor, approx.replication_factor, rel_tol=0.01)
+    assert design.working_set_elements == approx.working_set_elements
 
     # --- the paper's Table-1 shape ------------------------------------------
     # Communication: broadcast 2vp, block 2vh, design ≈ 2v√v capped at 2vn.
@@ -114,10 +114,16 @@ def test_table1_closed_forms_match_constructions(benchmark):
             ],
         ],
     )
+    # Distance from the replication lower bound, per scheme, at each
+    # scheme's own working-set capacity (Afrati/Ullman (v−1)/(q−1)).
+    bound_lines = "\n".join(
+        scheme.replication_report().summary()
+        for scheme in (BroadcastScheme(V, P), BlockScheme(V, H), DesignScheme(V, num_nodes=P))
+    )
     write_report(
         "table1",
         f"Table 1 — scheme comparison at v={V}, p={P}, h={H}, s={ELEMENT_SIZE}B",
-        table,
+        table + "\n\nreplication vs lower bound:\n" + bound_lines,
     )
 
 
@@ -132,7 +138,9 @@ def test_table1_symbolic_formulas(benchmark):
                     v,
                     broadcast_row(v, 16),
                     block_row(v, 20),
-                    design_row(v, num_nodes=16),
+                    # padded=False: the paper's symbolic √v form, so the
+                    # scaling-shape asserts below stay exact.
+                    design_row(v, num_nodes=16, padded=False),
                 )
             )
         return rows

@@ -7,6 +7,7 @@ Subcommands::
     python -m repro plan     --v 50000 --element-size 100KB \\
                              --maxws 200MB --maxis 1TB
     python -m repro figures  --which 9b
+    python -m repro replication --v 58 --element-size 64KB
     python -m repro demo     --app dbscan
 
 Size arguments accept suffixes KB/MB/GB/TB (decimal, the paper's units).
@@ -60,7 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     validate = sub.add_parser("validate", help="exhaustively check a scheme")
     validate.add_argument(
-        "--scheme", choices=["broadcast", "block", "design"], required=True
+        "--scheme", choices=["broadcast", "block", "design", "quorum"], required=True
     )
     validate.add_argument("--v", type=int, required=True)
     validate.add_argument("--tasks", type=int, default=8)
@@ -78,6 +79,16 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument(
         "--which", choices=["8a", "8b", "9a", "9b"], required=True
     )
+
+    replication = sub.add_parser(
+        "replication",
+        help="compare each scheme's replication to the lower bound",
+    )
+    replication.add_argument("--v", type=int, required=True)
+    replication.add_argument("--element-size", type=parse_size, default=500 * KB)
+    replication.add_argument("--tasks", type=int, default=8, help="broadcast tasks")
+    replication.add_argument("--h", type=int, default=4, help="block factor")
+    replication.add_argument("--prime-powers", action="store_true")
 
     demo = sub.add_parser("demo", help="run a small application demo")
     demo.add_argument(
@@ -121,12 +132,15 @@ def cmd_validate(args: argparse.Namespace) -> int:
     from .core.block import BlockScheme
     from .core.broadcast import BroadcastScheme
     from .core.design import DesignScheme
+    from .core.quorum import QuorumScheme
     from .core.validate import balance_report, check_exactly_once
 
     if args.scheme == "broadcast":
         scheme = BroadcastScheme(args.v, args.tasks)
     elif args.scheme == "block":
         scheme = BlockScheme(args.v, args.h)
+    elif args.scheme == "quorum":
+        scheme = QuorumScheme(args.v)
     else:
         scheme = DesignScheme(args.v, allow_prime_powers=args.prime_powers)
 
@@ -207,6 +221,42 @@ def cmd_figures(args: argparse.Namespace) -> int:
                 f"{format_bytes(point.element_size):>9}  {point.broadcast:>9}  "
                 f"{point.block:>6}  {point.design:>6}"
             )
+    return 0
+
+
+def cmd_replication(args: argparse.Namespace) -> int:
+    from .core.block import BlockScheme
+    from .core.broadcast import BroadcastScheme
+    from .core.design import DesignScheme
+    from .core.quorum import QuorumScheme
+    from .designs.difference_covers import difference_cover
+
+    schemes = [
+        BroadcastScheme(args.v, args.tasks),
+        BlockScheme(args.v, min(args.h, args.v)),
+        DesignScheme(args.v, allow_prime_powers=args.prime_powers),
+        QuorumScheme(args.v),
+    ]
+    print(
+        f"replication vs the (v-1)/(capacity-1) lower bound at v={args.v}, "
+        f"s={format_bytes(args.element_size)}:"
+    )
+    print(f"{'scheme':>10}  {'capacity':>8}  {'achieved':>8}  "
+          f"{'bound':>7}  {'ratio':>6}  shuffle floor")
+    for scheme in schemes:
+        report = scheme.replication_report()
+        floor = report.shuffle_bytes_floor(args.element_size)
+        print(
+            f"{report.scheme:>10}  {report.capacity_elements:>8}  "
+            f"{report.replication_achieved:>8.2f}  "
+            f"{report.replication_lower_bound:>7.2f}  "
+            f"{report.optimality_ratio:>6.2f}  {format_bytes(floor)}"
+        )
+    cover = difference_cover(args.v)
+    print(
+        f"quorum cover: |D|={cover.size} ({cover.kind}), "
+        f"D={sorted(cover.residues)}"
+    )
     return 0
 
 
@@ -326,6 +376,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "validate": cmd_validate,
         "plan": cmd_plan,
         "figures": cmd_figures,
+        "replication": cmd_replication,
         "demo": cmd_demo,
         "simulate": cmd_simulate,
     }

@@ -10,9 +10,14 @@ paper's own analysis recommends:
    (``v·s ≤ sqrt(maxws·maxis/2)``), choosing h inside the Fig 9a
    interval (minimal h ⇒ minimal replication/communication by Table 1,
    optionally balanced against a minimum task count for parallelism);
-3. otherwise **design** when its working set and intermediate storage
+3. otherwise **quorum** when v is *not* an exact plane size — the design
+   scheme would pad v up to the next prime plane and replicate ``q + 1``
+   times, while a difference cover of Z_v exists for the exact v at
+   ``|D| ≈ √v``; chosen when the cover fits both limits and strictly
+   beats the padded design replication;
+4. otherwise **design** when its working set and intermediate storage
    both fit;
-4. otherwise a **hierarchical** two-level block schedule with the
+5. otherwise a **hierarchical** two-level block schedule with the
    smallest coarse factor H whose per-round requirements fit (§7).
 
 The returned :class:`SchemeChoice` carries the configured scheme (or
@@ -35,6 +40,7 @@ from .cost_model import (
 )
 from .design import DesignScheme
 from .hierarchical import HierarchicalBlockScheme
+from .quorum import QuorumScheme
 from .scheme import DistributionScheme
 
 
@@ -141,7 +147,45 @@ def choose_scheme(
         f"{format_bytes(int((maxws * maxis / 2) ** 0.5))})"
     )
 
-    # 3. Design: both its limits must hold.
+    # 3. Quorum: exact-v difference-cover working sets, preferred over a
+    #    padded design when the cover replicates strictly less.
+    from ..designs.difference_covers import difference_cover
+    from ..designs.primes import plane_order_for, plane_size
+
+    q = plane_order_for(v, allow_prime_powers=allow_prime_powers)
+    if plane_size(q) == v:
+        rationale.append(
+            f"quorum not needed: v={v} is exactly the q={q} plane, "
+            "design pays no padding"
+        )
+    else:
+        cover = difference_cover(v)
+        k = cover.size
+        if k >= q + 1:
+            rationale.append(
+                f"quorum not competitive: |D|={k} ({cover.kind} cover) vs "
+                f"padded design replication {q + 1}"
+            )
+        elif k * element_size > maxws:
+            rationale.append(
+                f"quorum infeasible: working set |D|·s = "
+                f"{format_bytes(k * element_size)} > maxws"
+            )
+        elif v * k * element_size > maxis:
+            rationale.append(
+                f"quorum infeasible: intermediate v·|D|·s = "
+                f"{format_bytes(v * k * element_size)} > maxis"
+            )
+        else:
+            rationale.append(
+                f"quorum: design would pad v={v} to the q={q} plane "
+                f"(replication {q + 1}); {cover.kind} difference cover of "
+                f"Z_{v} replicates only |D|={k} — {v} tasks, working set "
+                f"{format_bytes(k * element_size)}"
+            )
+            return SchemeChoice(QuorumScheme(v, cover=cover), rationale)
+
+    # 4. Design: both its limits must hold.
     if v <= max_v_design_storage(element_size, maxis) and v <= max_v_design_memory(
         element_size, maxws
     ):
@@ -154,7 +198,7 @@ def choose_scheme(
         )
     rationale.append("design infeasible: √v·s or v^{3/2}·s exceeds a limit")
 
-    # 4. Hierarchical fallback: smallest H whose rounds fit both limits.
+    # 5. Hierarchical fallback: smallest H whose rounds fit both limits.
     for H in range(2, v + 1):
         E = ceil_div(v, H)  # coarse group size
         # Fine factor must shrink 2E elements under maxws...

@@ -32,7 +32,12 @@ import math
 from dataclasses import dataclass
 
 from .._util import GB, MB, TB, ceil_div, triangle_count
-from .scheme import SchemeMetrics
+from .scheme import SchemeMetrics, replication_lower_bound
+
+# re-exported here because the bound is part of the cost model's public
+# surface (quorum_row and the replication meter both quote it), while the
+# definition lives in scheme.py to avoid a scheme -> cost_model cycle.
+_ = replication_lower_bound
 
 #: the fixed limits of the paper's Fig 9b comparison
 PAPER_MAXWS = 200 * MB
@@ -74,32 +79,92 @@ def block_row(v: int, h: int) -> SchemeMetrics:
     )
 
 
-def design_row(v: int, num_nodes: int | None = None) -> SchemeMetrics:
-    """Design column of Table 1 (the paper's √v approximations).
+def design_row(
+    v: int,
+    num_nodes: int | None = None,
+    *,
+    padded: bool = True,
+) -> SchemeMetrics:
+    """Design column of Table 1.
+
+    By default this reports the replication the implementation actually
+    pays: v is padded up to the next prime plane ``q² + q + 1 ≥ v`` and
+    every element is replicated ``q + 1`` times — e.g. v = 10 000 pads to
+    q = 101, replication 102, not the unpadded ``√v = 100``.  Pass
+    ``padded=False`` for the paper's symbolic ``√v`` approximations (used
+    by the Table-1/Fig-9 reproductions, which plot the paper's formulas).
 
     ``num_nodes`` applies the ``2vn`` cap on communication the paper notes
     ("sending to all nodes" is the ceiling since √v > n is likely).
     """
     if v < 2:
         raise ValueError(f"need v >= 2, got v={v}")
-    sqrt_v = math.sqrt(v)
-    comm = 2 * v * sqrt_v
+    if padded:
+        from ..designs.primes import plane_order_for, plane_size
+
+        q = plane_order_for(v)
+        replication: float = float(q + 1)
+        working_set = q + 1
+        num_tasks = plane_size(q)
+    else:
+        sqrt_v = math.sqrt(v)
+        replication = sqrt_v
+        working_set = int(math.ceil(sqrt_v))
+        num_tasks = v  # ≈ q²+q+1 ≥ v
+    comm = 2 * v * replication
     if num_nodes is not None:
         comm = min(comm, 2 * v * num_nodes)
     return SchemeMetrics(
         scheme="design",
         v=v,
-        num_tasks=v,  # ≈ q²+q+1 ≥ v
+        num_tasks=num_tasks,
         communication_records=int(round(comm)),
-        replication_factor=sqrt_v,
-        working_set_elements=int(math.ceil(sqrt_v)),
+        replication_factor=replication,
+        working_set_elements=working_set,
+        evaluations_per_task=triangle_count(v) / num_tasks,
+    )
+
+
+def quorum_row(
+    v: int,
+    cover_size: int | None = None,
+    num_nodes: int | None = None,
+) -> SchemeMetrics:
+    """Quorum row: v tasks, replication = |D| for the cached cover of Z_v.
+
+    ``cover_size`` overrides the |D| lookup (for symbolic what-if rows
+    without constructing a cover); ``num_nodes`` applies the same ``2vn``
+    communication cap as :func:`design_row`.
+    """
+    if v < 2:
+        raise ValueError(f"need v >= 2, got v={v}")
+    if cover_size is None:
+        from ..designs.difference_covers import difference_cover
+
+        cover_size = difference_cover(v).size
+    if cover_size < 2:
+        raise ValueError(f"cover size must be >= 2, got {cover_size}")
+    comm = 2 * v * cover_size
+    if num_nodes is not None:
+        comm = min(comm, 2 * v * num_nodes)
+    return SchemeMetrics(
+        scheme="quorum",
+        v=v,
+        num_tasks=v,
+        communication_records=comm,
+        replication_factor=float(cover_size),
+        working_set_elements=cover_size,
         evaluations_per_task=(v - 1) / 2,
     )
 
 
 def table1(v: int, p: int, h: int, num_nodes: int | None = None) -> list[SchemeMetrics]:
-    """All three Table-1 rows side by side for one parameterization."""
-    return [broadcast_row(v, p), block_row(v, h), design_row(v, num_nodes)]
+    """All three Table-1 rows side by side for one parameterization.
+
+    Table 1 reproduces the paper's symbolic formulas, so the design row
+    stays in its unpadded ``√v`` form here.
+    """
+    return [broadcast_row(v, p), block_row(v, h), design_row(v, num_nodes, padded=False)]
 
 
 # ---------------------------------------------------------------------------

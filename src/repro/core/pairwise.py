@@ -41,6 +41,7 @@ reference the vectorized paths are parity-tested against.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
@@ -613,6 +614,63 @@ class PairwiseComputation:
             )
         return suite, pruner
 
+    def _meter_replication(
+        self, counters: Any, elements: Sequence[Element], *, legs: int
+    ) -> None:
+        """Record achieved-vs-bound replication after a pipeline completes.
+
+        Sets the three :class:`~repro.mapreduce.stats.EngineStats`
+        replication meters (pooled engines only — the serial engine has
+        no stats object) and emits a
+        :class:`~repro.mapreduce.controlplane.events.ReplicationMeasured`
+        event on the engine's bus, which the JSONL trace sink serializes
+        like every other event.  ``legs`` is how many shuffle legs the
+        executed path has (2 for the two-job pipelines, 1 for the one-job
+        broadcast form); the byte floor scales with it.  Cached runs
+        shuffle ids instead of payloads, so their ``shuffle_bytes_vs_bound``
+        dropping far below 1.0 is the meter showing the cache optimization
+        beating the naive payload-shuffle floor.
+        """
+        report_hook = getattr(self.scheme, "replication_report", None)
+        if report_hook is None:
+            return  # ad-hoc schemes (hierarchical round wrappers) aren't metered
+        report = report_hook()
+        v = self.scheme.v
+        replicas = counters.get(PAIRWISE_GROUP, REPLICAS_EMITTED)
+        achieved = replicas / v if replicas else report.replication_achieved
+        bound = report.replication_lower_bound
+        from ..mapreduce.counters import FRAMEWORK_GROUP, SHUFFLE_BYTES
+
+        shuffle_bytes = counters.get(FRAMEWORK_GROUP, SHUFFLE_BYTES)
+        from .runner import estimate_element_size  # local import avoids cycle
+
+        element_size = estimate_element_size([el.payload for el in elements])
+        floor = legs * report.shuffle_bytes_floor(element_size)
+        vs_bound = shuffle_bytes / floor if floor and shuffle_bytes else 0.0
+        stats = getattr(self.engine, "stats", None)
+        if stats is not None:
+            stats.replication_factor_achieved = achieved
+            stats.replication_lower_bound = bound
+            stats.shuffle_bytes_vs_bound = vs_bound
+        events = getattr(self.engine, "events", None)
+        if events is not None:
+            from ..mapreduce.controlplane.events import ReplicationMeasured
+
+            events.emit(
+                ReplicationMeasured(
+                    time=time.monotonic(),
+                    scheme=self.scheme.name,
+                    v=v,
+                    capacity_elements=report.capacity_elements,
+                    replication_achieved=achieved,
+                    replication_lower_bound=bound,
+                    optimality_ratio=achieved / bound,
+                    shuffle_bytes=shuffle_bytes,
+                    shuffle_bytes_floor=floor,
+                    shuffle_bytes_vs_bound=vs_bound,
+                )
+            )
+
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
         """Close the engine this computation built (noop for a supplied one)."""
@@ -704,6 +762,7 @@ class PairwiseComputation:
             num_map_tasks=num_map_tasks,
             fuse=False if return_pipeline else None,
         )
+        self._meter_replication(result.counters, elements, legs=2)
         merged = {key: value for key, value in result.records}
         if return_pipeline:
             return merged, result
@@ -767,6 +826,7 @@ class PairwiseComputation:
             num_map_tasks=num_map_tasks,
             fuse=False if return_pipeline else None,
         )
+        self._meter_replication(result.counters, elements, legs=2)
         merged = {key: value for key, value in result.records}
         if return_pipeline:
             return merged, result
@@ -816,6 +876,7 @@ class PairwiseComputation:
         # one-mapper-per-task launch of the paper's implementation.
         task_records = [(task, None) for task in range(self.scheme.num_tasks)]
         result = self.engine.run(job, task_records, num_map_tasks=self.scheme.num_tasks)
+        self._meter_replication(result.counters, elements, legs=1)
         merged = {key: value for key, value in result.records}
         if return_result:
             return merged, result

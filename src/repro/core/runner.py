@@ -14,11 +14,58 @@ from __future__ import annotations
 import pickle
 from typing import Any, Callable, Sequence
 
-from .._util import GB, MB, TB
+from .._util import GB, MB, TB, ceil_div
 from .chooser import SchemeChoice, choose_scheme
 from .element import Element
 from .hierarchical import HierarchicalBlockScheme, run_rounds, run_rounds_mr
 from .pairwise import PairwiseComputation
+from .scheme import DistributionScheme
+
+
+def _forced_choice(
+    v: int,
+    scheme: Any,
+    *,
+    element_size: int,
+    maxws: int,
+    num_nodes: int,
+) -> SchemeChoice:
+    """Build the SchemeChoice for an explicit ``scheme=`` override."""
+    if isinstance(scheme, DistributionScheme):
+        if scheme.v != v:
+            raise ValueError(
+                f"supplied scheme is for v={scheme.v}, dataset has {v} elements"
+            )
+        return SchemeChoice(
+            scheme, [f"scheme forced by caller: {scheme.describe()}"]
+        )
+    name = str(scheme)
+    if name == "broadcast":
+        from .broadcast import BroadcastScheme
+
+        built: DistributionScheme = BroadcastScheme(v, max(1, 2 * num_nodes))
+    elif name == "block":
+        from .block import BlockScheme
+
+        h = min(v, max(1, ceil_div(2 * v * element_size, maxws)))
+        built = BlockScheme(v, h)
+    elif name == "design":
+        from .design import DesignScheme
+
+        built = DesignScheme(v, num_nodes=num_nodes)
+    elif name == "quorum":
+        from .quorum import QuorumScheme
+
+        built = QuorumScheme(v)
+    else:
+        raise ValueError(
+            f"unknown scheme family {name!r}: expected broadcast/block/"
+            "design/quorum, or a DistributionScheme instance"
+        )
+    return SchemeChoice(
+        built,
+        [f"scheme forced by caller: {built.describe()} (feasibility checks skipped)"],
+    )
 
 
 def estimate_element_size(dataset: Sequence[Any], sample: int = 8) -> int:
@@ -66,12 +113,21 @@ def auto_pairwise(
     pruning: str = "off",
     exact_fallback: bool = True,
     sketch_params=None,
+    scheme: str | Any = None,
 ) -> tuple[dict[int, Element], SchemeChoice]:
     """Evaluate all pairs of ``dataset`` under an auto-chosen scheme.
 
     ``element_size`` defaults to a pickled-size estimate of the payloads;
     pass the real deployment size when simulating capacity decisions for
     data bigger than the in-process sample.
+
+    ``scheme`` overrides the chooser: a family name (``"broadcast"`` /
+    ``"block"`` / ``"design"`` / ``"quorum"``) builds that scheme with
+    default parameters for v, or pass a ready
+    :class:`~repro.core.scheme.DistributionScheme` instance (e.g. a
+    skew-aware ``QuorumScheme(v, element_sizes=...)``) to use it as-is.
+    Forced schemes skip the maxws/maxis feasibility analysis — the
+    rationale records that.
 
     ``auto_engine=True`` (flat schemes, ``engine=None``) sizes the engine
     too, through the same :func:`repro.mapreduce.runtime.choose_engine`
@@ -112,9 +168,18 @@ def auto_pairwise(
         )
     if element_size is None:
         element_size = estimate_element_size(dataset)
-    choice = choose_scheme(
-        len(dataset), element_size, maxws=maxws, maxis=maxis, num_nodes=num_nodes
-    )
+    if scheme is None:
+        choice = choose_scheme(
+            len(dataset), element_size, maxws=maxws, maxis=maxis, num_nodes=num_nodes
+        )
+    else:
+        choice = _forced_choice(
+            len(dataset),
+            scheme,
+            element_size=element_size,
+            maxws=maxws,
+            num_nodes=num_nodes,
+        )
     if isinstance(choice.scheme, HierarchicalBlockScheme):
         if not symmetric:
             raise NotImplementedError(

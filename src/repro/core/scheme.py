@@ -86,14 +86,98 @@ class SchemeMetrics:
 
 @dataclass(frozen=True)
 class TaskProfile:
-    """Per-task size profile used by the cluster simulator."""
+    """Per-task size profile used by the cluster simulator.
+
+    ``payload_bytes`` is the exact byte footprint of the task's working
+    set when the scheme knows per-element sizes (the skew-aware quorum
+    variant); ``None`` means only the cardinality is known and
+    :meth:`working_set_bytes` falls back to ``members × element_size``.
+    """
 
     subset_id: int
     num_members: int
     num_evaluations: int
+    payload_bytes: int | None = None
 
     def working_set_bytes(self, element_size: int) -> int:
+        if self.payload_bytes is not None:
+            return self.payload_bytes
         return self.num_members * element_size
+
+
+def replication_lower_bound(v: int, capacity: int) -> float:
+    """Afrati/Ullman replication-rate lower bound ``r ≥ (v−1)/(q−1)``.
+
+    A reducer holding ``q_l ≤ q`` elements covers at most
+    ``q_l (q−1) / 2`` pairs, so summing over reducers:
+    ``v(v−1)/2 ≤ (q−1)/2 · Σ q_l`` and the replication rate
+    ``r = Σ q_l / v`` is at least ``(v−1)/(q−1)``.  A perfect difference
+    set (``v = q̂² + q̂ + 1``, capacity ``q̂ + 1``) meets it with equality;
+    the coarser form the mapping-schema paper quotes, ``v/(2q)``, is this
+    bound weakened by a factor ≈ 2.
+    """
+    if v < 2:
+        raise ValueError(f"need v >= 2, got {v}")
+    if capacity < 2:
+        raise ValueError(f"reducer capacity must be >= 2 elements, got {capacity}")
+    return (v - 1) / (capacity - 1)
+
+
+@dataclass(frozen=True)
+class ReplicationReport:
+    """Achieved replication vs the capacity-matched theoretical floor.
+
+    Produced by :meth:`DistributionScheme.replication_report` for every
+    scheme; the engine counters and the ``repro replication`` CLI
+    subcommand are thin views over this.  ``capacity_elements`` is the
+    scheme's own working-set size — the bound is evaluated at the
+    capacity the scheme actually uses, so ``optimality_ratio`` isolates
+    distribution quality from the capacity choice itself.
+
+    ``max_task_bytes`` / ``mean_task_bytes`` are filled only when the
+    scheme knows per-element sizes (skew-aware quorum); ``bytes_skew``
+    is their ratio — 1.0 means perfectly byte-balanced tasks.
+    """
+
+    scheme: str
+    v: int
+    capacity_elements: int
+    replication_achieved: float
+    replication_lower_bound: float
+    max_task_bytes: int | None = None
+    mean_task_bytes: float | None = None
+
+    @property
+    def optimality_ratio(self) -> float:
+        """``achieved / bound`` — 1.0 is replication-optimal."""
+        return self.replication_achieved / self.replication_lower_bound
+
+    @property
+    def bytes_skew(self) -> float | None:
+        """``max / mean`` task bytes, when per-element sizes are known."""
+        if self.max_task_bytes is None or not self.mean_task_bytes:
+            return None
+        return self.max_task_bytes / self.mean_task_bytes
+
+    def shuffle_bytes_floor(self, element_size: int) -> int:
+        """Minimum bytes one shuffle leg must move at this capacity.
+
+        Every replica crosses the network once per leg, and any
+        exactly-once scheme must emit at least ``bound × v`` replicas.
+        """
+        return int(self.replication_lower_bound * self.v * element_size)
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.scheme}: repl={self.replication_achieved:g}",
+            f"bound={self.replication_lower_bound:.2f}",
+            f"ratio={self.optimality_ratio:.3f}",
+            f"capacity={self.capacity_elements}",
+        ]
+        skew = self.bytes_skew
+        if skew is not None:
+            parts.append(f"bytes_skew={skew:.2f}")
+        return "  ".join(parts)
 
 
 class DistributionScheme(abc.ABC):
@@ -173,6 +257,23 @@ class DistributionScheme(abc.ABC):
         """Every pair the scheme evaluates, across all tasks (for validation)."""
         for subset_id, members in self.iter_subsets():
             yield from self.get_pairs(subset_id, members)
+
+    def replication_report(self) -> ReplicationReport:
+        """Achieved replication vs the lower bound at this scheme's capacity.
+
+        The default derives both sides from :meth:`metrics`; schemes that
+        know per-element byte sizes (skew-aware quorum) override to fill
+        the task-bytes skew fields as well.
+        """
+        m = self.metrics()
+        capacity = max(2, m.working_set_elements)
+        return ReplicationReport(
+            scheme=self.name,
+            v=self.v,
+            capacity_elements=capacity,
+            replication_achieved=m.replication_factor,
+            replication_lower_bound=replication_lower_bound(self.v, capacity),
+        )
 
     def describe(self) -> str:
         """Human-readable description of the configured scheme."""

@@ -14,6 +14,17 @@ from .bibd import (
     truncate_design,
     verify_design,
 )
+from .difference_covers import (
+    GREEDY_LIMIT,
+    DifferenceCover,
+    cover_size_lower_bound,
+    difference_cover,
+    greedy_difference_cover,
+    perfect_difference_cover,
+    prune_cover,
+    structured_difference_cover,
+    verify_difference_cover,
+)
 from .difference_sets import (
     cyclic_plane,
     find_primitive_element,
@@ -36,12 +47,17 @@ from .projective import gf_plane, lee_plane, projective_plane
 __all__ = [
     "DesignCheck",
     "DesignStats",
+    "DifferenceCover",
     "GF",
+    "GREEDY_LIMIT",
+    "cover_size_lower_bound",
     "cyclic_plane",
     "design_stats",
+    "difference_cover",
     "find_irreducible",
     "find_primitive_element",
     "gf_plane",
+    "greedy_difference_cover",
     "is_irreducible",
     "is_prime",
     "is_prime_power",
@@ -49,13 +65,17 @@ __all__ = [
     "next_prime",
     "next_prime_power",
     "pair_coverage",
+    "perfect_difference_cover",
     "plane_order_for",
     "plane_size",
     "prime_power_decompose",
     "primes_up_to",
     "projective_plane",
+    "prune_cover",
     "singer_difference_set",
+    "structured_difference_cover",
     "truncate_design",
     "verify_design",
+    "verify_difference_cover",
     "verify_difference_set",
 ]

@@ -1,0 +1,203 @@
+"""Cyclic difference covers: quorum working sets for *arbitrary* v.
+
+A *difference cover* ``D ⊆ Z_v`` has every non-zero residue mod v
+expressible as ``dᵢ − dⱼ`` for some ``dᵢ, dⱼ ∈ D`` — at least once,
+unlike a perfect difference set's exactly once.  Its translates
+``D + t (mod v)`` are the cyclic quorums of Kleinheksel & Somani: any
+two residues a, b share at least one translate (take δ = a − b = dᵢ − dⱼ
+and t = b − dⱼ), so the translates cover all pairs while replicating
+each element only ``|D|`` times.  Perfect difference sets achieve
+``|D|(|D|−1) = v − 1`` (the counting optimum) but exist only for
+``v = q² + q + 1`` with prime-power q; a difference cover exists for
+*every* v, at a small constant factor above ``√v``.
+
+Three constructions, best-of composed by :func:`difference_cover`:
+
+- **perfect** — the Singer difference set when ``v = q² + q + 1`` for a
+  prime power q (optimal: ``|D| = q + 1``);
+- **greedy** — start from {0}, repeatedly add the residue covering the
+  most still-uncovered difference classes (deterministic smallest-wins
+  tie-break), then prune redundant members.  Used for
+  ``v ≤ GREEDY_LIMIT``; empirically lands within ~15–35% of the
+  counting bound;
+- **structured** — ``{0, …, r−1} ∪ {r, 2r, …, mr}`` with
+  ``m = ⌈⌊v/2⌋ / r⌉``: the base covers differences 1…r−1 and multiple
+  ``ir`` minus base element ``j`` covers ``[ir−r+1, ir]``, so all
+  classes up to ``mr ≥ ⌊v/2⌋`` are hit.  O(√v) to build (no search),
+  ``|D| ≈ r + v/(2r)``, minimized near ``r = √(v/2)`` at ``≈ √2·√v`` —
+  the large-v fallback, also pruned.
+
+Every returned cover is verified; the counting lower bound
+``|D|(|D|−1) ≥ v − 1`` (:func:`cover_size_lower_bound`) calibrates how
+far a relaxed cover sits from optimal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from .difference_sets import singer_difference_set
+from .primes import is_prime_power, plane_size
+
+#: largest v the O(v²)-ish greedy search is attempted for; beyond it the
+#: O(√v) structured construction (≈ √2·√v members after pruning) is used.
+GREEDY_LIMIT = 1024
+
+
+@dataclass(frozen=True)
+class DifferenceCover:
+    """A verified cyclic difference cover of Z_v."""
+
+    v: int
+    residues: tuple[int, ...]  #: sorted, always containing 0
+    kind: str  #: "perfect" | "greedy" | "structured"
+
+    @property
+    def size(self) -> int:
+        return len(self.residues)
+
+    @property
+    def is_perfect(self) -> bool:
+        return self.kind == "perfect"
+
+
+def cover_size_lower_bound(v: int) -> int:
+    """Counting bound: ``|D|(|D|−1) ≥ v − 1`` ⇒ ``|D| ≥ ⌈(1+√(4v−3))/2⌉``.
+
+    Each ordered pair of distinct members yields one difference, and all
+    ``v − 1`` non-zero residues must appear.
+    """
+    if v < 1:
+        raise ValueError(f"v must be >= 1, got {v}")
+    if v <= 2:
+        return v
+    k = (1 + math.isqrt(4 * v - 3)) // 2
+    while k * (k - 1) < v - 1:
+        k += 1
+    return k
+
+
+def verify_difference_cover(residues, v: int) -> bool:
+    """True iff every non-zero residue mod v equals some dᵢ − dⱼ."""
+    members = sorted(set(r % v for r in residues))
+    covered = set()
+    for a in members:
+        for b in members:
+            if a != b:
+                covered.add((a - b) % v)
+    return len(covered) == v - 1
+
+
+def perfect_difference_cover(v: int) -> tuple[int, ...] | None:
+    """The Singer difference set when ``v = q²+q+1`` for prime-power q."""
+    if v < 7:
+        return None
+    q = (math.isqrt(4 * v - 3) - 1) // 2
+    for candidate in (q - 1, q, q + 1):
+        if candidate >= 2 and plane_size(candidate) == v:
+            if is_prime_power(candidate):
+                return singer_difference_set(candidate)
+            return None
+    return None
+
+
+def structured_difference_cover(v: int) -> tuple[int, ...]:
+    """O(√v) two-scale cover ``{0…r−1} ∪ {r, 2r, …, mr}`` (unpruned)."""
+    if v <= 2:
+        return tuple(range(v))
+    half = v // 2
+    best: tuple[int, ...] | None = None
+    # r + ⌈half/r⌉ is unimodal; scanning the √-neighbourhood is cheap and
+    # keeps the choice exact rather than relying on the real-valued argmin.
+    for r in range(1, math.isqrt(v) + 2):
+        m = -(-half // r)  # ceil
+        cover = tuple(range(r)) + tuple(i * r for i in range(1, m + 1))
+        cover = tuple(sorted(set(x % v for x in cover)))
+        if best is None or len(cover) < len(best):
+            best = cover
+    assert best is not None
+    return best
+
+
+def greedy_difference_cover(v: int) -> tuple[int, ...]:
+    """Greedy max-new-coverage search (deterministic, unpruned).
+
+    Difference *classes* are the unordered ±δ orbits {δ, v−δ}, indexed by
+    δ ∈ 1…⌊v/2⌋; covering a class in either direction covers both
+    ordered residues.  Adding any uncovered δ itself always covers ≥ 1
+    new class (0 ∈ D), so the loop terminates in ≤ ⌊v/2⌋ steps.
+    """
+    if v <= 2:
+        return tuple(range(v))
+    half = v // 2
+    members = [0]
+    member_set = {0}
+    uncovered = set(range(1, half + 1))
+    while uncovered:
+        best_candidate = -1
+        best_gain: set[int] = set()
+        for candidate in range(1, v):
+            if candidate in member_set:
+                continue
+            gain = set()
+            for d in members:
+                delta = (candidate - d) % v
+                delta = min(delta, v - delta)
+                if delta in uncovered:
+                    gain.add(delta)
+            if len(gain) > len(best_gain):
+                best_candidate, best_gain = candidate, gain
+        members.append(best_candidate)
+        member_set.add(best_candidate)
+        uncovered -= best_gain
+    return tuple(sorted(members))
+
+
+def prune_cover(residues: tuple[int, ...], v: int) -> tuple[int, ...]:
+    """Drop members whose removal keeps the cover valid (largest first).
+
+    Greedy and structured constructions both overshoot near the end;
+    pruning typically recovers 1–3 members.  0 is always kept so the
+    translate t's members stay ``{t, …}`` (t owns its own element).
+    """
+    members = list(residues)
+    for d in sorted(members, reverse=True):
+        if d == 0:
+            continue
+        trial = [x for x in members if x != d]
+        if len(trial) >= 2 and verify_difference_cover(trial, v):
+            members = trial
+    return tuple(sorted(members))
+
+
+@lru_cache(maxsize=None)
+def difference_cover(v: int) -> DifferenceCover:
+    """Best available difference cover of Z_v, verified, cached per v.
+
+    Perfect (Singer) when v is a prime-power plane size; otherwise the
+    greedy search up to :data:`GREEDY_LIMIT`, the structured fallback
+    beyond — both pruned.  The cache makes repeated scheme construction
+    (chooser probing, per-job rebuilds) O(1) after the first hit.
+    """
+    if v < 1:
+        raise ValueError(f"v must be >= 1, got {v}")
+    if v <= 2:
+        return DifferenceCover(v=v, residues=tuple(range(v)), kind="perfect")
+    perfect = perfect_difference_cover(v)
+    if perfect is not None:
+        # Translating a difference set preserves it; shift so 0 ∈ D and
+        # every translate t contains its own residue t.
+        shift = min(perfect)
+        residues = tuple(sorted((d - shift) % v for d in perfect))
+        return DifferenceCover(v=v, residues=residues, kind="perfect")
+    if v <= GREEDY_LIMIT:
+        residues = prune_cover(greedy_difference_cover(v), v)
+        kind = "greedy"
+    else:
+        residues = prune_cover(structured_difference_cover(v), v)
+        kind = "structured"
+    if not verify_difference_cover(residues, v):  # pragma: no cover - safety net
+        raise RuntimeError(f"difference-cover construction failed for v={v}")
+    return DifferenceCover(v=v, residues=residues, kind=kind)

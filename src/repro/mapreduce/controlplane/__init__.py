@@ -44,6 +44,7 @@ from .events import (
     EventBus,
     JsonlTraceSink,
     PhaseMarker,
+    ReplicationMeasured,
     SpillQuarantined,
     SpillWritten,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "JsonlTraceSink",
     "LptPolicy",
     "PhaseMarker",
+    "ReplicationMeasured",
     "RoundRobinPolicy",
     "SchedulingPolicy",
     "Slot",

@@ -78,6 +78,32 @@ class BytesMoved:
 
 
 @dataclass(frozen=True)
+class ReplicationMeasured:
+    """A pairwise run's replication, measured against the theoretical floor.
+
+    Emitted once per :class:`~repro.core.pairwise.PairwiseComputation`
+    run, after the pipeline completes.  ``replication_achieved`` is
+    replicas-emitted / v (falling back to the scheme's analytic factor on
+    paths that emit no replica records); ``replication_lower_bound`` is
+    the Afrati/Ullman floor ``(v−1)/(capacity−1)`` at the scheme's own
+    working-set capacity; ``shuffle_bytes_vs_bound`` compares measured
+    shuffle bytes to ``legs × bound × v × element_size`` (0.0 when no
+    shuffle bytes were metered, e.g. the serial engine).
+    """
+
+    time: float
+    scheme: str
+    v: int
+    capacity_elements: int
+    replication_achieved: float
+    replication_lower_bound: float
+    optimality_ratio: float
+    shuffle_bytes: int
+    shuffle_bytes_floor: int
+    shuffle_bytes_vs_bound: float
+
+
+@dataclass(frozen=True)
 class PhaseMarker:
     """A phase (one job's map or reduce wave) started or finished."""
 

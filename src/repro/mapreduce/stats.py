@@ -57,6 +57,15 @@ class EngineStats:
     ``spill_files_damaged`` files the fault plan's ``corrupt_rate`` /
     ``truncate_rate`` actually damaged (write-side injection count, so
     tests can assert every injected corruption was detected).
+
+    The replication meters record the last pairwise run's distance from
+    the Afrati/Ullman lower bound: ``replication_factor_achieved`` is the
+    measured copies-per-element (replicas emitted / v),
+    ``replication_lower_bound`` the floor ``(v−1)/(capacity−1)`` at the
+    scheme's own working-set capacity, and ``shuffle_bytes_vs_bound`` the
+    measured shuffle bytes over the per-leg byte floor — cached runs ship
+    ids instead of payloads, so values below 1.0 mean the run beat the
+    naive floor.  Zero means "no pairwise run metered yet".
     """
 
     pools_created: int = 0
@@ -86,6 +95,9 @@ class EngineStats:
     spill_corruptions: int = 0
     spill_files_quarantined: int = 0
     spill_files_damaged: int = 0
+    replication_factor_achieved: float = 0.0
+    replication_lower_bound: float = 0.0
+    shuffle_bytes_vs_bound: float = 0.0
     run_seconds: float = 0.0
 
     @property

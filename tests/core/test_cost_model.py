@@ -23,6 +23,8 @@ from repro.core.cost_model import (
     max_v_design,
     max_v_design_memory,
     max_v_design_storage,
+    quorum_row,
+    replication_lower_bound,
     table1,
 )
 
@@ -42,11 +44,32 @@ class TestTable1Rows:
         assert m.working_set_elements == 200
         assert m.evaluations_per_task == 100 * 100
 
-    def test_design_row_formulas(self):
+    def test_design_row_padded_by_default(self):
+        """v = 10 000 pads to the q = 101 plane: replication is the honest
+        q + 1 = 102 the implementation pays, not the unpadded √v = 100."""
         m = design_row(10_000)
+        assert m.replication_factor == 102.0
+        assert m.working_set_elements == 102
+        assert m.num_tasks == 101 * 101 + 101 + 1
+        assert m.evaluations_per_task == pytest.approx(
+            10_000 * 9_999 / 2 / (101 * 101 + 101 + 1)
+        )
+
+    def test_design_row_unpadded_paper_form(self):
+        m = design_row(10_000, padded=False)
         assert m.replication_factor == pytest.approx(100.0)
         assert m.working_set_elements == 100
         assert m.evaluations_per_task == pytest.approx(4999.5)
+
+    def test_design_row_padded_matches_constructed_scheme(self):
+        """At an exact prime plane size the padded row is the real scheme."""
+        from repro.core.design import DesignScheme
+
+        v = 7 * 7 + 7 + 1  # 57, the q=7 plane
+        row = design_row(v)
+        m = DesignScheme(v).metrics()
+        assert row.replication_factor == m.replication_factor == 8.0
+        assert row.num_tasks == m.num_tasks == 57
 
     def test_design_row_node_cap(self):
         capped = design_row(10_000, num_nodes=8)
@@ -68,6 +91,50 @@ class TestTable1Rows:
             block_row(10, 0)
         with pytest.raises(ValueError):
             design_row(1)
+        with pytest.raises(ValueError):
+            quorum_row(1)
+        with pytest.raises(ValueError):
+            quorum_row(100, cover_size=1)
+
+
+class TestQuorumRowAndBound:
+    def test_quorum_row_uses_cached_cover(self):
+        from repro.core.quorum import QuorumScheme
+
+        row = quorum_row(58)
+        assert row == QuorumScheme(58).metrics()
+        assert row.num_tasks == 58
+        assert row.replication_factor == row.working_set_elements
+
+    def test_quorum_row_symbolic_override(self):
+        row = quorum_row(10_000, cover_size=120)
+        assert row.replication_factor == 120.0
+        assert row.communication_records == 2 * 10_000 * 120
+
+    def test_quorum_row_node_cap(self):
+        capped = quorum_row(10_000, cover_size=120, num_nodes=8)
+        assert capped.communication_records == 2 * 10_000 * 8
+
+    def test_quorum_beats_padded_design_on_non_prime_power_v(self):
+        """The satellite-motivating case: design pads 58 up to the q=11
+        plane (replication 12); the greedy cover of Z_58 needs only 9."""
+        assert quorum_row(58).replication_factor < design_row(58).replication_factor
+
+    def test_lower_bound_tight_at_perfect_difference_set(self):
+        # v = q²+q+1, capacity q+1 ⇒ bound (v−1)/q = q+1 exactly.
+        for q in (2, 3, 5, 7, 9, 11):
+            v = q * q + q + 1
+            assert replication_lower_bound(v, q + 1) == pytest.approx(q + 1)
+
+    def test_lower_bound_decreases_with_capacity(self):
+        bounds = [replication_lower_bound(1000, c) for c in (10, 50, 200, 999)]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_lower_bound_rejects_degenerate_capacity(self):
+        with pytest.raises(ValueError):
+            replication_lower_bound(100, 1)
+        with pytest.raises(ValueError):
+            replication_lower_bound(1, 10)
 
 
 class TestBytesHelpers:

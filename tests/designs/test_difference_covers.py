@@ -1,0 +1,116 @@
+"""Difference-cover constructions: validity, optimality, pruning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designs.difference_covers import (
+    GREEDY_LIMIT,
+    cover_size_lower_bound,
+    difference_cover,
+    greedy_difference_cover,
+    perfect_difference_cover,
+    prune_cover,
+    structured_difference_cover,
+    verify_difference_cover,
+)
+from repro.designs.primes import plane_size
+
+
+class TestLowerBound:
+    def test_counting_bound_is_tight_at_plane_sizes(self):
+        # A perfect difference set has |D| = q+1 and |D|(|D|-1) = v-1 exactly.
+        for q in (2, 3, 4, 5, 7, 8, 9, 11):
+            v = plane_size(q)
+            assert cover_size_lower_bound(v) == q + 1
+
+    def test_bound_property_holds(self):
+        for v in range(1, 300):
+            k = cover_size_lower_bound(v)
+            if v > 2:
+                assert k * (k - 1) >= v - 1
+                assert (k - 1) * (k - 2) < v - 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            cover_size_lower_bound(0)
+
+
+class TestVerify:
+    def test_accepts_known_perfect_set(self):
+        assert verify_difference_cover((0, 1, 3), 7)
+
+    def test_rejects_incomplete(self):
+        assert not verify_difference_cover((0, 1), 7)
+
+    def test_modular_normalization(self):
+        assert verify_difference_cover((7, 8, 10), 7)  # ≡ {0,1,3}
+
+
+class TestConstructions:
+    def test_perfect_only_at_prime_power_planes(self):
+        assert perfect_difference_cover(57) is not None  # q=7
+        assert perfect_difference_cover(73) is not None  # q=8=2³
+        assert perfect_difference_cover(91) is not None  # q=9=3²
+        assert perfect_difference_cover(58) is None
+        assert perfect_difference_cover(43) is None  # q=6 is not a prime power
+
+    @pytest.mark.parametrize("v", [3, 7, 20, 58, 100, 120])
+    def test_greedy_is_valid(self, v):
+        assert verify_difference_cover(greedy_difference_cover(v), v)
+
+    @pytest.mark.parametrize("v", [3, 58, 500, 2500, 10_000])
+    def test_structured_is_valid(self, v):
+        assert verify_difference_cover(structured_difference_cover(v), v)
+
+    def test_prune_keeps_validity_and_zero(self):
+        raw = structured_difference_cover(200)
+        pruned = prune_cover(raw, 200)
+        assert verify_difference_cover(pruned, 200)
+        assert 0 in pruned
+        assert len(pruned) <= len(raw)
+
+
+class TestDifferenceCover:
+    def test_perfect_when_available(self):
+        cover = difference_cover(57)
+        assert cover.kind == "perfect"
+        assert cover.is_perfect
+        assert cover.size == 8 == cover_size_lower_bound(57)
+
+    def test_greedy_below_limit_structured_above(self):
+        assert difference_cover(58).kind == "greedy"
+        assert difference_cover(GREEDY_LIMIT + 5).kind == "structured"
+
+    def test_cached_instance(self):
+        assert difference_cover(58) is difference_cover(58)
+
+    def test_all_small_v_valid(self):
+        for v in range(1, 101):
+            cover = difference_cover(v)
+            if v > 2:
+                assert verify_difference_cover(cover.residues, v), v
+            assert 0 in cover.residues
+
+    def test_quality_near_counting_bound(self):
+        # Greedy stays within 40% of the counting bound in this range.
+        for v in (30, 58, 100, 120, 200, 500):
+            cover = difference_cover(v)
+            assert cover.size <= 1.4 * cover_size_lower_bound(v) + 1, (v, cover.size)
+
+    def test_structured_scale_quality(self):
+        cover = difference_cover(10_000)
+        # structured lands near √2·√v
+        assert cover.size <= 1.6 * cover_size_lower_bound(10_000)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            difference_cover(0)
+
+
+@given(v=st.integers(min_value=3, max_value=GREEDY_LIMIT))
+@settings(max_examples=30, deadline=None)
+def test_cover_always_valid_and_bounded(v):
+    cover = difference_cover(v)
+    assert verify_difference_cover(cover.residues, v)
+    assert cover.size >= cover_size_lower_bound(v)

@@ -30,7 +30,7 @@ class TestMetrics:
         assert main(["metrics", "--v", "10000", "--element-size", "500KB"]) == 0
         out = capsys.readouterr().out
         assert "broadcast:" in out and "block:" in out and "design:" in out
-        assert "repl=100" in out  # design √10000
+        assert "repl=102" in out  # padded to the q=101 plane, reported honestly
 
 
 class TestValidate:
@@ -46,6 +46,26 @@ class TestValidate:
 
     def test_broadcast(self, capsys):
         assert main(["validate", "--scheme", "broadcast", "--v", "12", "--tasks", "3"]) == 0
+
+    def test_quorum(self, capsys):
+        assert main(["validate", "--scheme", "quorum", "--v", "58"]) == 0
+        out = capsys.readouterr().out
+        assert "quorum(v=58" in out and "exactly-once: OK" in out
+
+
+class TestReplication:
+    def test_table_printed(self, capsys):
+        assert main(["replication", "--v", "58", "--element-size", "64KB"]) == 0
+        out = capsys.readouterr().out
+        for name in ("broadcast", "block", "design", "quorum"):
+            assert name in out
+        assert "lower bound" in out and "|D|=" in out
+
+    def test_perfect_plane_ratio_one(self, capsys):
+        assert main(["replication", "--v", "57"]) == 0
+        out = capsys.readouterr().out
+        quorum_line = [l for l in out.splitlines() if l.strip().startswith("quorum")][0]
+        assert "1.00" in quorum_line
 
 
 class TestPlan:
